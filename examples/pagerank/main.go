@@ -1,0 +1,50 @@
+// PageRank on a bounded-degree graph: power iteration where every step is
+// a distributed sparse matrix-vector product. The supported model shines
+// here — the structure never changes, so the routing plans are prepared
+// once and every iteration costs exactly the same number of rounds.
+//
+//	go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"lbmm/internal/triangle"
+)
+
+func main() {
+	const (
+		n       = 200
+		degree  = 5
+		damping = 0.85
+		iters   = 20
+	)
+	g := triangle.RandomBoundedDegree(n, degree, 13)
+	fmt.Printf("graph: n=%d maxdeg=%d edges=%d\n", g.N, g.MaxDegree(), g.NumEdges())
+
+	ranks, total, perIter, err := triangle.PageRank(g, damping, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	local := triangle.PageRankLocal(g, damping, iters)
+	fmt.Printf("verified against sequential power iteration (max error %.2e)\n",
+		triangle.MaxRankError(ranks, local))
+	fmt.Printf("%d iterations × %d rounds each = %d total communication rounds\n",
+		iters, perIter, total)
+
+	type vr struct {
+		v int
+		r float64
+	}
+	var order []vr
+	for v, r := range ranks {
+		order = append(order, vr{v, r})
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].r > order[b].r })
+	fmt.Println("\ntop 5 vertices by rank:")
+	for _, x := range order[:5] {
+		fmt.Printf("  vertex %3d  rank %.5f\n", x.v, x.r)
+	}
+}

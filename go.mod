@@ -1,0 +1,3 @@
+module lbmm
+
+go 1.22

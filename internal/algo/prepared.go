@@ -1,0 +1,178 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+
+	"lbmm/internal/cluster"
+	"lbmm/internal/fewtri"
+	"lbmm/internal/graph"
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+	"lbmm/internal/params"
+	"lbmm/internal/ring"
+	"lbmm/internal/vnet"
+)
+
+// Prepared is the supported model's preprocessing reified: every routing
+// decision for a given support, computed once and reusable for any number
+// of value sets. This is exactly the paper's setting — "the sparsity
+// structure is globally known in advance … while the values of the nonzero
+// elements are revealed at run time" — so amortizing the (free-in-model,
+// costly-on-host) planning over repeated products with the same structure
+// is the natural API for iterative workloads.
+type Prepared struct {
+	Inst   *graph.Instance
+	Layout *lbm.Layout
+	R      ring.Semiring
+	Name   string
+
+	phase1 []*cluster.PlannedBatch
+	fewtri *fewtri.Job
+	meta   Result
+}
+
+// PrepareLemma31 preprocesses the Lemma 3.1 (Theorems 5.3/5.11) algorithm.
+func PrepareLemma31(r ring.Semiring, inst *graph.Instance) (*Prepared, error) {
+	l := ChooseLayout(inst)
+	tris := inst.Triangles()
+	job, err := fewtri.Plan(inst.N, l, tris, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		Inst: inst, Layout: l, R: r, Name: "lemma31",
+		fewtri: job,
+		meta:   Result{Name: "lemma31", Triangles: len(tris), Kappa: job.Kappa},
+	}, nil
+}
+
+// PrepareTheorem42 preprocesses the two-phase algorithm: the full
+// Lemma 4.13 clustering schedule plus the Lemma 3.1 residual job.
+func PrepareTheorem42(r ring.Semiring, inst *graph.Instance, opts Theorem42Opts) (*Prepared, error) {
+	if opts.NaivePhase2 {
+		return nil, fmt.Errorf("algo: the naive-phase-2 reconstruction has no prepared form")
+	}
+	l := ChooseLayout(inst)
+	_, isField := ring.AsField(r)
+	alpha := opts.Alpha
+	if alpha == 0 {
+		if isField {
+			alpha = 1.832
+		} else {
+			alpha = 1.867
+		}
+	}
+	d := inst.D
+	tris := inst.Triangles()
+	p := &Prepared{Inst: inst, Layout: l, R: r, Name: "theorem42"}
+	p.meta = Result{Name: "theorem42", Triangles: len(tris)}
+
+	lambda := params.LambdaSemiring
+	if isField {
+		lambda = params.LambdaStrassen
+	}
+	net := vnet.Roles(inst.N)
+	residual := tris
+	for _, st := range params.Schedule(lambda, 1e-5, alpha) {
+		targetResidual := int(math.Pow(float64(d), st.Beta) * float64(inst.N))
+		if len(residual) <= targetResidual {
+			continue
+		}
+		minGain := int(math.Pow(float64(d), 3-4*st.Epsilon) / 24)
+		if minGain < 2 {
+			minGain = 2
+		}
+		batches, rest := cluster.Partition(residual, inst.N, d, cluster.PartitionOpts{
+			MinGain:        minGain,
+			TargetResidual: targetResidual,
+		})
+		if len(batches) == 0 {
+			break
+		}
+		for _, b := range batches {
+			pb, err := cluster.PlanBatch(net, inst.N, l, b, isField)
+			if err != nil {
+				return nil, err
+			}
+			p.phase1 = append(p.phase1, pb)
+			p.meta.Batches++
+			p.meta.Cluster.CubeClusters += pb.Stats.CubeClusters
+			p.meta.Cluster.StrassenClusters += pb.Stats.StrassenClusters
+		}
+		residual = rest
+	}
+	p.meta.Residual = len(residual)
+	job, err := fewtri.Plan(inst.N, l, residual, 0)
+	if err != nil {
+		return nil, err
+	}
+	p.fewtri = job
+	p.meta.Kappa = job.Kappa
+	return p, nil
+}
+
+// Multiply runs the prepared plans on one value set. The values must
+// realize (a subset of) the prepared supports: positions outside the known
+// structure are rejected, positions inside it but absent load as the ring
+// Zero (the supported model's "indicator" semantics, §2.1).
+func (p *Prepared) Multiply(a, b *matrix.Sparse) (*matrix.Sparse, *Result, error) {
+	if err := within(a.Support(), p.Inst.Ahat); err != nil {
+		return nil, nil, fmt.Errorf("algo: A %w", err)
+	}
+	if err := within(b.Support(), p.Inst.Bhat); err != nil {
+		return nil, nil, fmt.Errorf("algo: B %w", err)
+	}
+	m := lbm.New(p.Inst.N, p.R)
+	// Load every support position explicitly (absent value = ring Zero, per
+	// Sparse.Get), so the fixed plans find all their sources.
+	for i, row := range p.Inst.Ahat.Rows {
+		for _, j := range row {
+			m.Put(p.Layout.OwnerA(int32(i), j), lbm.AKey(int32(i), j), a.Get(i, int(j)))
+		}
+	}
+	for j, row := range p.Inst.Bhat.Rows {
+		for _, k := range row {
+			m.Put(p.Layout.OwnerB(int32(j), k), lbm.BKey(int32(j), k), b.Get(j, int(k)))
+		}
+	}
+	lbm.ZeroOutputs(m, p.Layout, p.Inst.Xhat)
+
+	net := vnet.Roles(p.Inst.N)
+	before := 0
+	for _, pb := range p.phase1 {
+		if err := pb.Run(m, net); err != nil {
+			return nil, nil, err
+		}
+	}
+	vnet.CleanupStaging(m)
+	phase1 := m.Rounds() - before
+	if err := fewtri.Run(m, p.fewtri); err != nil {
+		return nil, nil, err
+	}
+	got, err := lbm.CollectX(m, p.Layout, p.Inst.Xhat)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := p.meta
+	res.Stats = m.Stats()
+	res.Rounds = res.Stats.Rounds
+	res.Phase1Rounds = phase1
+	res.Phase2Rounds = res.Rounds - phase1
+	return got, &res, nil
+}
+
+// within checks that sub's entries all lie inside sup.
+func within(sub, sup *matrix.Support) error {
+	if sub.N != sup.N {
+		return fmt.Errorf("dimension %d outside prepared structure %d", sub.N, sup.N)
+	}
+	for i, row := range sub.Rows {
+		for _, j := range row {
+			if !sup.Has(i, int(j)) {
+				return fmt.Errorf("value at (%d,%d) outside the prepared structure", i, j)
+			}
+		}
+	}
+	return nil
+}

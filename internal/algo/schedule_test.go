@@ -1,0 +1,22 @@
+package algo
+
+import (
+	"testing"
+
+	"lbmm/internal/ring"
+)
+
+func TestTheorem42ScheduleVsFlat(t *testing.T) {
+	// Both drivers must be exact; on a mixed instance the scheduled driver
+	// runs ≥ as many batches (finer thresholds) and leaves a residual no
+	// larger than the flat one's target.
+	inst := blockInstance(128, 8)
+	sched := checkAlg(t, ring.Counting{}, inst, Theorem42(Theorem42Opts{}), 3)
+	flat := checkAlg(t, ring.Counting{}, inst, Theorem42(Theorem42Opts{FlatSchedule: true}), 3)
+	if sched.Triangles != flat.Triangles {
+		t.Fatal("different instances?")
+	}
+	if sched.Residual > sched.Triangles || flat.Residual > flat.Triangles {
+		t.Fatal("residual bookkeeping broken")
+	}
+}

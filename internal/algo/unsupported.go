@@ -1,0 +1,150 @@
+package algo
+
+import (
+	"fmt"
+
+	"lbmm/internal/graph"
+	"lbmm/internal/lbm"
+	"lbmm/internal/routing"
+)
+
+// This file implements the trivial *unsupported*-model protocol, the
+// baseline for the paper's §1.6 open direction ("eliminating the knowledge
+// of the support is a major challenge for future work"). When the sparsity
+// structure is NOT known in advance, the computers first disseminate it:
+// every support entry (one O(log n)-bit word) is gathered to computer 0 and
+// pipeline-broadcast to everyone, after which all computers know the full
+// structure, can locally derive the same deterministic plan, and the
+// supported algorithm runs unchanged. The dissemination costs
+// Θ(nnz + log n) rounds — it dominates every supported algorithm in this
+// repository, which is exactly why the paper's supported-model results are
+// interesting.
+
+// kindSupport holds disseminated support words.
+const kindSupport = lbm.KindUser + 120
+
+// encodeEntry packs (matrix id, i, j) into one ring value word. Exact for
+// n < 2^24 (3·n² < 2^53).
+func encodeEntry(which, i, j int, n int) float64 {
+	return float64(which)*float64(n)*float64(n) + float64(i)*float64(n) + float64(j)
+}
+
+func decodeEntry(v float64, n int) (which, i, j int) {
+	x := int64(v)
+	n64 := int64(n)
+	return int(x / (n64 * n64)), int(x / n64 % n64), int(x % n64)
+}
+
+// DisseminateSupport runs the support-dissemination protocol and returns
+// the number of structure words moved. Afterwards every computer holds all
+// support entries under Key{kindSupport, t, 0, 0} for t = 0..words-1.
+func DisseminateSupport(m *lbm.Machine, l *lbm.Layout, inst *graph.Instance) (int, error) {
+	m.Mark("unsupported:gather")
+	// Each owner sends the code word of each entry it holds to computer 0.
+	type entry struct {
+		owner lbm.NodeID
+		code  float64
+	}
+	var entries []entry
+	for i, row := range inst.Ahat.Rows {
+		for _, j := range row {
+			entries = append(entries, entry{l.OwnerA(int32(i), j), encodeEntry(0, i, int(j), inst.N)})
+		}
+	}
+	for j, row := range inst.Bhat.Rows {
+		for _, k := range row {
+			entries = append(entries, entry{l.OwnerB(int32(j), k), encodeEntry(1, j, int(k), inst.N)})
+		}
+	}
+	for i, row := range inst.Xhat.Rows {
+		for _, k := range row {
+			entries = append(entries, entry{l.OwnerX(int32(i), k), encodeEntry(2, i, int(k), inst.N)})
+		}
+	}
+
+	// Stage the code words locally at their owners (free: the owner knows
+	// its own entries), then gather.
+	perOwner := map[lbm.NodeID]int32{}
+	var msgs []routing.Msg
+	for t, e := range entries {
+		src := lbm.Key{Kind: kindSupport, I: -1 - perOwner[e.owner], J: int32(e.owner), Seq: 0}
+		perOwner[e.owner]++
+		m.Put(e.owner, src, e.code)
+		dst := lbm.Key{Kind: kindSupport, I: int32(t), J: 0, Seq: 0}
+		msgs = append(msgs, routing.Msg{From: e.owner, To: 0, Src: src, Dst: dst, Op: lbm.OpSet})
+	}
+	if err := m.Run(routing.Schedule(msgs, routing.Auto)); err != nil {
+		return 0, fmt.Errorf("unsupported gather: %w", err)
+	}
+
+	// Pipeline-broadcast the words to everyone.
+	m.Mark("unsupported:broadcast")
+	nodes := make([]lbm.NodeID, m.N)
+	for i := range nodes {
+		nodes[i] = lbm.NodeID(i)
+	}
+	plan := routing.PipelinedBroadcast(nodes, len(entries), func(t int) lbm.Key {
+		return lbm.Key{Kind: kindSupport, I: int32(t), J: 0, Seq: 0}
+	})
+	if err := m.Run(plan); err != nil {
+		return 0, fmt.Errorf("unsupported broadcast: %w", err)
+	}
+	return len(entries), nil
+}
+
+// VerifyDissemination decodes the words held by a computer back into the
+// three supports and checks them against the instance (test hook: proves
+// the information really arrived, not just messages).
+func VerifyDissemination(m *lbm.Machine, node lbm.NodeID, inst *graph.Instance) error {
+	words := inst.Ahat.NNZ + inst.Bhat.NNZ + inst.Xhat.NNZ
+	seen := [3]map[[2]int]bool{{}, {}, {}}
+	for t := 0; t < words; t++ {
+		v, ok := m.Get(node, lbm.Key{Kind: kindSupport, I: int32(t), J: 0, Seq: 0})
+		if !ok {
+			return fmt.Errorf("computer %d missing support word %d", node, t)
+		}
+		which, i, j := decodeEntry(v, inst.N)
+		if which < 0 || which > 2 {
+			return fmt.Errorf("computer %d: bad word %v", node, v)
+		}
+		seen[which][[2]int{i, j}] = true
+	}
+	check := func(which int, rows [][]int32) error {
+		for i, row := range rows {
+			for _, j := range row {
+				if !seen[which][[2]int{i, int(j)}] {
+					return fmt.Errorf("computer %d missing entry %d:(%d,%d)", node, which, i, j)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(0, inst.Ahat.Rows); err != nil {
+		return err
+	}
+	if err := check(1, inst.Bhat.Rows); err != nil {
+		return err
+	}
+	return check(2, inst.Xhat.Rows)
+}
+
+// Unsupported wraps a supported algorithm with the run-time support
+// dissemination phase. The returned Result's SupportWords field reports the
+// dissemination volume; its rounds are included in the total.
+func Unsupported(alg Algorithm) Algorithm {
+	return func(m *lbm.Machine, l *lbm.Layout, inst *graph.Instance) (*Result, error) {
+		words, err := DisseminateSupport(m, l, inst)
+		if err != nil {
+			return nil, err
+		}
+		disseminationRounds := m.Rounds()
+		res, err := alg(m, l, inst)
+		if err != nil {
+			return nil, err
+		}
+		res.Name = "unsupported+" + res.Name
+		res.SupportWords = words
+		res.DisseminationRounds = disseminationRounds
+		return res, nil
+	}
+}

@@ -1,0 +1,173 @@
+package cclique
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lbmm/internal/lbm"
+	"lbmm/internal/ring"
+)
+
+func TestValidateRejectsDuplicatesAndRange(t *testing.T) {
+	p := &Plan{}
+	p.Append(Round{
+		{From: 0, To: 1, Src: lbm.TKey(0, 0, 0), Dst: lbm.TKey(0, 0, 1)},
+		{From: 0, To: 1, Src: lbm.TKey(0, 0, 0), Dst: lbm.TKey(0, 0, 2)},
+	})
+	if err := p.Validate(4); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("err = %v", err)
+	}
+	p2 := &Plan{}
+	p2.Append(Round{{From: 0, To: 9, Src: lbm.TKey(0, 0, 0), Dst: lbm.TKey(0, 0, 1)}})
+	if err := p2.Validate(4); err == nil {
+		t.Error("range violation accepted")
+	}
+	// A full clique round is valid: n(n-1) messages, one per ordered pair.
+	p3 := AllToAll(5, func(u lbm.NodeID) lbm.Key { return lbm.TKey(int32(u), 0, 0) },
+		func(u lbm.NodeID) lbm.Key { return lbm.TKey(int32(u), 1, 0) })
+	if err := p3.Validate(5); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulationTheorem executes the §1.5 statement: a 1-round clique
+// all-to-all runs in exactly n−1 low-bandwidth rounds and delivers every
+// message.
+func TestSimulationTheorem(t *testing.T) {
+	for _, n := range []int{4, 9, 16} {
+		src := func(u lbm.NodeID) lbm.Key { return lbm.TKey(int32(u), 0, 0) }
+		dst := func(u lbm.NodeID) lbm.Key { return lbm.TKey(int32(u), 1, 0) }
+		cc := AllToAll(n, src, dst)
+
+		m := lbm.New(n, ring.Counting{})
+		for u := 0; u < n; u++ {
+			m.Put(lbm.NodeID(u), src(lbm.NodeID(u)), ring.Value(u+100))
+		}
+		low, err := Simulate(cc, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(low); err != nil {
+			t.Fatal(err)
+		}
+		// T_cc = 1 ⇒ T_lbm ≤ n·T_cc; with exact colouring it is n−1.
+		if m.Rounds() != n-1 {
+			t.Errorf("n=%d: simulated in %d rounds, want exactly %d", n, m.Rounds(), n-1)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				got, ok := m.Get(lbm.NodeID(v), dst(lbm.NodeID(u)))
+				if !ok || got != ring.Value(u+100) {
+					t.Fatalf("n=%d: %d's value missing at %d", n, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateRejectsInvalid(t *testing.T) {
+	p := &Plan{}
+	p.Append(Round{
+		{From: 1, To: 1, Src: lbm.TKey(0, 0, 0), Dst: lbm.TKey(0, 0, 1)},
+		{From: 1, To: 1, Src: lbm.TKey(0, 0, 0), Dst: lbm.TKey(0, 0, 1)},
+	})
+	if _, err := Simulate(p, 4); err == nil {
+		t.Error("invalid plan simulated")
+	}
+}
+
+// TestMultiRoundPipelines checks that multi-round clique plans compose: two
+// clique rounds that forward values along a ring cost ≤ 2(n−1) rounds and
+// move data two hops.
+func TestMultiRoundPipelines(t *testing.T) {
+	n := 6
+	key := func(h int) lbm.Key { return lbm.TKey(int32(h), 7, 0) }
+	m := lbm.New(n, ring.Counting{})
+	for u := 0; u < n; u++ {
+		m.Put(lbm.NodeID(u), key(0), ring.Value(u))
+	}
+	p := &Plan{}
+	for hop := 0; hop < 2; hop++ {
+		var r Round
+		for u := 0; u < n; u++ {
+			r = append(r, Send{
+				From: lbm.NodeID(u), To: lbm.NodeID((u + 1) % n),
+				Src: key(hop), Dst: key(hop + 1), Op: lbm.OpSet,
+			})
+		}
+		p.Append(r)
+	}
+	low, err := Simulate(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(low); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds() > 2*(n-1) {
+		t.Errorf("two clique rounds took %d > 2(n-1) rounds", m.Rounds())
+	}
+	for u := 0; u < n; u++ {
+		want := ring.Value((u + n - 2) % n)
+		if got, _ := m.Get(lbm.NodeID(u), key(2)); got != want {
+			t.Errorf("node %d two-hop value %v, want %v", u, got, want)
+		}
+	}
+}
+
+// TestDenseMMSimulation runs the O(n)-clique-round dense multiplication
+// through the simulation: the plan is a valid clique plan (n rounds) whose
+// low-bandwidth simulation costs Θ(n²) rounds, and the product is correct.
+func TestDenseMMSimulation(t *testing.T) {
+	n := 8
+	r := ring.NewGFp(101)
+	m := lbm.New(n, r)
+	rng := rand.New(rand.NewSource(4))
+	a := make([][]ring.Value, n)
+	b := make([][]ring.Value, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]ring.Value, n)
+		b[i] = make([]ring.Value, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = r.Rand(rng)
+			b[i][j] = r.Rand(rng)
+			m.Put(lbm.NodeID(i), lbm.AKey(int32(i), int32(j)), a[i][j])
+			m.Put(lbm.NodeID(i), lbm.BKey(int32(i), int32(j)), b[i][j])
+		}
+	}
+	cc := DenseMM(n)
+	if err := cc.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.Rounds) != n {
+		t.Fatalf("clique plan has %d rounds, want %d", len(cc.Rounds), n)
+	}
+	low, err := Simulate(cc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(low); err != nil {
+		t.Fatal(err)
+	}
+	// Θ(n²) low-bandwidth rounds: n clique rounds × (n−1) each.
+	if got := m.Rounds(); got != n*(n-1) {
+		t.Errorf("simulated in %d rounds, want %d", got, n*(n-1))
+	}
+	LocalMM(m, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			want := r.Zero()
+			for j := 0; j < n; j++ {
+				want = r.Add(want, r.Mul(a[i][j], b[j][k]))
+			}
+			got, _ := m.Get(lbm.NodeID(i), lbm.XKey(int32(i), int32(k)))
+			if got != want {
+				t.Fatalf("X(%d,%d) = %v, want %v", i, k, got, want)
+			}
+		}
+	}
+}

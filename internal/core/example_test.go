@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"lbmm/internal/core"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+)
+
+// ExampleMultiply multiplies two tiny sparse matrices over the counting
+// semiring and reports the complexity classification.
+func ExampleMultiply() {
+	const n = 4
+	r := ring.Counting{}
+	a := matrix.NewSparse(n, r)
+	b := matrix.NewSparse(n, r)
+	for i := 0; i < n; i++ {
+		a.Set(i, (i+1)%n, 2) // cycle shift, US(1)
+		b.Set(i, i, 3)       // diagonal, US(1)
+	}
+	xhat := matrix.NewSupport(n, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+
+	x, rep, err := core.Multiply(a, b, xhat, core.Options{Ring: r})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("X(0,1) =", x.Get(0, 1))
+	fmt.Printf("classes [%v:%v:%v], band %v\n",
+		rep.Classes[0], rep.Classes[1], rep.Classes[2], rep.Band)
+	// Output:
+	// X(0,1) = 6
+	// classes [US:US:US], band 1:fast
+}
+
+// ExampleClassify reproduces single rows of the paper's Table 2.
+func ExampleClassify() {
+	band := core.Classify(matrix.BD, matrix.BD, matrix.BD)
+	upper, lower := band.Bounds()
+	fmt.Println(band)
+	fmt.Println(upper)
+	fmt.Println(lower)
+	// Output:
+	// 2:d2+log
+	// O(d^2 + log n)
+	// Ω(d^λ), Ω(log n)
+}

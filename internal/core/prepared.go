@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"lbmm/internal/algo"
+	"lbmm/internal/graph"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+)
+
+// Prepared is a multiplication whose supported-model preprocessing — every
+// routing decision — has been computed once for a fixed sparsity structure
+// and can be reused for any number of value sets (the natural API for
+// iterative workloads such as repeated tropical relaxations over a fixed
+// graph). Rounds are a function of the structure only, so every Multiply
+// costs exactly the same number of rounds.
+type Prepared struct {
+	inner *algo.Prepared
+	// Classes and Band classify the prepared structure (Table 2).
+	Classes [3]matrix.Class
+	Band    Band
+	// D is the sparsity parameter used.
+	D int
+}
+
+// Prepare preprocesses the multiplication for the given supports. Options:
+// Ring and D as in Multiply; Algorithm may be "auto", "theorem42" or
+// "lemma31" (the trivial/baseline/unsupported algorithms have no prepared
+// form).
+func Prepare(ahat, bhat, xhat *matrix.Support, opts Options) (*Prepared, error) {
+	if ahat.N != bhat.N || ahat.N != xhat.N {
+		return nil, fmt.Errorf("core: dimension mismatch %d/%d/%d", ahat.N, bhat.N, xhat.N)
+	}
+	r := opts.Ring
+	if r == nil {
+		r = ring.Real{}
+	}
+	d := opts.D
+	if d == 0 {
+		for _, s := range []*matrix.Support{ahat, bhat, xhat} {
+			if need := (s.NNZ + s.N - 1) / s.N; need > d {
+				d = need
+			}
+		}
+		if d == 0 {
+			d = 1
+		}
+	}
+	inst := graph.NewInstance(d, ahat, bhat, xhat)
+	p := &Prepared{D: d}
+	p.Classes[0], p.Classes[1], p.Classes[2] = inst.Classify()
+	p.Band = Classify(p.Classes[0], p.Classes[1], p.Classes[2])
+
+	var inner *algo.Prepared
+	var err error
+	switch opts.Algorithm {
+	case "", "auto":
+		if p.Band == Band1Fast {
+			inner, err = algo.PrepareTheorem42(r, inst, algo.Theorem42Opts{})
+		} else {
+			inner, err = algo.PrepareLemma31(r, inst)
+		}
+	case "theorem42":
+		inner, err = algo.PrepareTheorem42(r, inst, algo.Theorem42Opts{})
+	case "lemma31":
+		inner, err = algo.PrepareLemma31(r, inst)
+	default:
+		return nil, fmt.Errorf("core: algorithm %q has no prepared form", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.inner = inner
+	return p, nil
+}
+
+// Multiply executes the prepared plans on one value set. The values must
+// lie within the prepared structure; positions of the structure without a
+// value are ring zeros.
+func (p *Prepared) Multiply(a, b *matrix.Sparse) (*matrix.Sparse, *Report, error) {
+	x, res, err := p.inner.Multiply(a, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, &Report{Result: *res, Classes: p.Classes, D: p.D, Band: p.Band}, nil
+}

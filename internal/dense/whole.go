@@ -1,0 +1,63 @@
+package dense
+
+import (
+	"lbmm/internal/graph"
+	"lbmm/internal/lbm"
+	"lbmm/internal/vnet"
+)
+
+// allIndices returns [0, n) as int32s.
+func allIndices(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// RunWholeCube executes the masked cube algorithm on the entire instance,
+// using all 3n role virtual nodes as processors. On a uniformly sparse
+// instance this is the O(d·n^{1/3})-round algorithm attributed to [2] in
+// Table 1; on a dense instance it is the O(n^{4/3}) semiring algorithm of
+// [3]. Inputs must be loaded in RowLayout and outputs zeroed.
+func RunWholeCube(m *lbm.Machine, l *lbm.Layout, inst *graph.Instance) error {
+	net := vnet.Roles(inst.N)
+	spec := &CubeSpec{
+		N:      inst.N,
+		Procs:  allIndices(3 * inst.N),
+		I:      allIndices(inst.N),
+		J:      allIndices(inst.N),
+		K:      allIndices(inst.N),
+		Tris:   inst.Triangles(),
+		Layout: l,
+	}
+	job, err := PlanCube(net, spec)
+	if err != nil {
+		return err
+	}
+	return RunCubeJobs(m, net, []*CubeJob{job})
+}
+
+// RunWholeStrassen executes the distributed Strassen algorithm on the
+// entire instance over a field, using all 3n role virtual nodes as
+// processors: the executable O(n^{2-2/log₂7}) dense field algorithm of
+// Table 1. Inputs must be loaded in RowLayout and outputs zeroed.
+func RunWholeStrassen(m *lbm.Machine, l *lbm.Layout, inst *graph.Instance) error {
+	net := vnet.Roles(inst.N)
+	spec := &StrassenSpec{
+		N:      inst.N,
+		Procs:  allIndices(3 * inst.N),
+		I:      allIndices(inst.N),
+		J:      allIndices(inst.N),
+		K:      allIndices(inst.N),
+		SA:     inst.Ahat,
+		SB:     inst.Bhat,
+		SX:     inst.Xhat,
+		Layout: l,
+	}
+	job, err := PlanStrassen(net, spec)
+	if err != nil {
+		return err
+	}
+	return RunStrassenJobs(m, net, []*StrassenJob{job})
+}

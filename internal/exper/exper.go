@@ -1,0 +1,98 @@
+// Package exper is the experiment harness: it regenerates every table and
+// figure of the paper from live simulations and the analytic machinery.
+// The cmd/lbmm CLI and the repository benchmarks are thin wrappers around
+// this package, so "the numbers in EXPERIMENTS.md" and "what the benches
+// print" are by construction the same code path.
+package exper
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lbmm/internal/algo"
+	"lbmm/internal/graph"
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+)
+
+// Point is one measurement of a scaling series.
+type Point struct {
+	X      float64 // the swept parameter (n or d)
+	Rounds int
+}
+
+// Series is a named measurement series with its theoretical exponent.
+type Series struct {
+	Name   string
+	Theory string  // the bound as printed in the paper
+	Expo   float64 // theoretical exponent of the swept parameter (0 = n/a)
+	Points []Point
+}
+
+// FittedExponent least-squares fits log(rounds) = e·log(x) + c and returns
+// e. Series with fewer than two points return NaN.
+func (s *Series) FittedExponent() float64 {
+	if len(s.Points) < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range s.Points {
+		lx := math.Log(p.X)
+		ly := math.Log(math.Max(float64(p.Rounds), 1))
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(s.Points))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// TailExponent fits only the last two points — a better estimate of the
+// asymptotic slope when small sizes are constant-dominated.
+func (s *Series) TailExponent() float64 {
+	if len(s.Points) < 2 {
+		return math.NaN()
+	}
+	a := s.Points[len(s.Points)-2]
+	b := s.Points[len(s.Points)-1]
+	return math.Log(float64(b.Rounds)/math.Max(float64(a.Rounds), 1)) / math.Log(b.X/a.X)
+}
+
+// Format renders a series as a table block.
+func (s *Series) Format(param string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s theory %-22s", s.Name, s.Theory)
+	fmt.Fprintf(&b, " fit %.3f (tail %.3f)\n", s.FittedExponent(), s.TailExponent())
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "    %s=%-6.0f rounds=%d\n", param, p.X, p.Rounds)
+	}
+	return b.String()
+}
+
+// runVerified executes an algorithm on an instance with random values over
+// r, verifies the product, and returns the result. The goroutine engine is
+// enabled; it only engages on rounds big enough to amortize (ParBatch) and
+// is equivalence-tested against the sequential engine.
+func runVerified(r ring.Semiring, inst *graph.Instance, alg algo.Algorithm, seed int64) (*algo.Result, error) {
+	a := matrix.Random(inst.Ahat, r, seed)
+	b := matrix.Random(inst.Bhat, r, seed+1)
+	res, got, err := algo.Solve(r, inst, a, b, alg, lbm.WithAutoWorkers())
+	if err != nil {
+		return nil, err
+	}
+	if err := algo.Verify(got, a, b, inst.Xhat); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", res.Name, describe(inst), err)
+	}
+	return res, nil
+}
+
+func describe(inst *graph.Instance) string {
+	return fmt.Sprintf("n=%d d=%d", inst.N, inst.D)
+}

@@ -1,0 +1,213 @@
+package exper
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1ShapeClaims(t *testing.T) {
+	rows, err := Table1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Series{}
+	for i := range rows {
+		byName[rows[i].Name] = &rows[i]
+	}
+
+	// The trivial algorithms must measure their exact exponents.
+	if e := byName["trivial dense gather"].FittedExponent(); math.Abs(e-2.0) > 0.15 {
+		t.Errorf("trivial dense slope %.3f, want ~2", e)
+	}
+	// On block instances the exact trivial cost is d(d−1) remote fetches.
+	for _, p := range byName["trivial sparse"].Points {
+		d := int(p.X)
+		if p.Rounds != d*(d-1) {
+			t.Errorf("trivial sparse at d=%d: %d rounds, want exactly %d", d, p.Rounds, d*(d-1))
+		}
+	}
+	// The 3D semiring algorithm must be clearly subquadratic in n.
+	if e := byName["dense 3D semiring [3]"].FittedExponent(); e > 1.7 {
+		t.Errorf("3D dense slope %.3f, want well below 2", e)
+	}
+	// The sparse cube must be strongly sublinear in n at fixed d.
+	if e := byName["sparse 3D cube [2], fixed d"].FittedExponent(); e > 0.8 {
+		t.Errorf("sparse cube slope %.3f, want ~1/3", e)
+	}
+	// Theorem 4.2 must grow strictly slower than the trivial d².
+	if e := byName["this work semiring (Thm 4.2)"].TailExponent(); e >= 1.95 {
+		t.Errorf("theorem42 tail slope %.3f, want < d^2 growth", e)
+	}
+	// The prior-work phase-2 reconstruction behaves like d² on extremal
+	// blocks — the bottleneck Lemma 3.1 removes.
+	if e := byName["naive phase 2 ([13]'s bottleneck)"].FittedExponent(); e < 1.9 {
+		t.Errorf("baseline slope %.3f, want ~d² growth", e)
+	}
+	out := FormatTable1(rows, "")
+	if !strings.Contains(out, "Table 1") {
+		t.Error("format broken")
+	}
+}
+
+func TestTable2AllRowsVerified(t *testing.T) {
+	rows, err := Table2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("%d rows, want 20", len(rows))
+	}
+	out := FormatTable2(rows)
+	for _, frag := range []string{"[US:US:US]", "[GM:GM:GM]", "outlier", "conditional"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table 2 output missing %q", frag)
+		}
+	}
+}
+
+func TestLowerBoundsRespected(t *testing.T) {
+	rows, err := LowerBounds(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLowerRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	// The √n rows must show max receive load ≥ bound (the certification).
+	found := false
+	for _, r := range rows {
+		if strings.Contains(r.Name, "outer product") {
+			found = true
+			if r.MaxRecv < int64(r.Bound) {
+				t.Errorf("%s n=%d: receive load %d below forced %d", r.Name, r.N, r.MaxRecv, r.Bound)
+			}
+		}
+	}
+	if !found {
+		t.Error("no outer product rows")
+	}
+	if out := FormatLowerBounds(rows); !strings.Contains(out, "deg(OR_8) = 8") {
+		t.Error("degree block missing")
+	}
+}
+
+func TestAblationSeparation(t *testing.T) {
+	rows, err := AblationLemma31(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On hot-pair instances the separation must grow with n.
+	var speedups []float64
+	for _, r := range rows {
+		if r.Name == "hot pair" {
+			speedups = append(speedups, float64(r.BaselineRounds)/float64(r.LemmaRounds))
+		}
+	}
+	if len(speedups) < 2 {
+		t.Fatal("missing hot pair rows")
+	}
+	for i := 1; i < len(speedups); i++ {
+		if speedups[i] <= speedups[i-1] {
+			t.Errorf("hot-pair speedup not growing: %v", speedups)
+		}
+	}
+	if speedups[0] < 4 {
+		t.Errorf("hot-pair speedup too small: %v", speedups)
+	}
+	if out := FormatAblation(rows); !strings.Contains(out, "hot pair") {
+		t.Error("format broken")
+	}
+}
+
+func TestFigure1Content(t *testing.T) {
+	rows, err := Table1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Figure1(rows)
+	for _, frag := range []string{"1.927", "1.867", "1.832", "1.157", "Table 3", "Table 4", "0.13319", "0.16854"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("figure output missing %q", frag)
+		}
+	}
+}
+
+func TestSeriesFitting(t *testing.T) {
+	s := Series{Points: []Point{{X: 2, Rounds: 4}, {X: 4, Rounds: 16}, {X: 8, Rounds: 64}}}
+	if e := s.FittedExponent(); math.Abs(e-2) > 1e-9 {
+		t.Errorf("fit %v", e)
+	}
+	if e := s.TailExponent(); math.Abs(e-2) > 1e-9 {
+		t.Errorf("tail %v", e)
+	}
+	empty := Series{}
+	if !math.IsNaN(empty.FittedExponent()) || !math.IsNaN(empty.TailExponent()) {
+		t.Error("empty series should fit NaN")
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	data, err := JSON(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AllResults
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Table1) == 0 || len(back.Table2) != 20 || len(back.Table3) != 4 ||
+		len(back.Table4) != 4 || len(back.Lower) == 0 || len(back.Ablation) == 0 ||
+		len(back.Support) == 0 || len(back.Milestones) == 0 {
+		t.Fatalf("JSON payload incomplete: %+v", back)
+	}
+	// Class names marshal as strings.
+	if !strings.Contains(string(data), `"US"`) || !strings.Contains(string(data), "1:fast") {
+		t.Error("class/band names not marshaled as strings")
+	}
+}
+
+func TestAblationStrassenVariant(t *testing.T) {
+	rows, err := AblationStrassenVariant(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	for _, r := range rows {
+		if r.ClassicRounds <= 0 || r.WinogradRounds <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	if out := FormatVariantAblation(rows); !strings.Contains(out, "winograd") {
+		t.Error("format broken")
+	}
+}
+
+// TestDeterminism guards the supported-model property that everything is a
+// deterministic function of the support: two fresh runs of the whole
+// Table 1 harness must measure identical round counts (this catches any
+// map-iteration order leaking into plans).
+func TestDeterminism(t *testing.T) {
+	r1, err := Table1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Table1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatal("row counts differ")
+	}
+	for i := range r1 {
+		for j := range r1[i].Points {
+			if r1[i].Points[j] != r2[i].Points[j] {
+				t.Fatalf("%s point %d: %v vs %v — nondeterministic rounds",
+					r1[i].Name, j, r1[i].Points[j], r2[i].Points[j])
+			}
+		}
+	}
+}

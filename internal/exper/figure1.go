@@ -1,0 +1,56 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lbmm/internal/params"
+)
+
+// Figure1 renders the §1.2 progress figure: the exponent ladder from the
+// trivial O(d²) down to the conditional milestones, for semirings and
+// fields, optionally annotated with measured tail exponents from a Table 1
+// run. It is a text rendering of the paper's bar illustration.
+func Figure1(measured []Series) string {
+	var b strings.Builder
+	b.WriteString("Figure (§1.2) — progress towards the conditional milestones\n\n")
+	b.WriteString("exponent of d in the round complexity (lower is better)\n\n")
+
+	scale := func(e float64) int {
+		// Map exponent range [1.0, 2.0] to a 50-char bar.
+		w := int((e - 1.0) / 1.0 * 50)
+		if w < 0 {
+			w = 0
+		}
+		if w > 50 {
+			w = 50
+		}
+		return w
+	}
+	for _, m := range params.Milestones() {
+		fmt.Fprintf(&b, "%-34s semiring %.3f |%s\n", m.Label, m.Semiring, strings.Repeat("#", scale(m.Semiring)))
+		fmt.Fprintf(&b, "%-34s field    %.3f |%s\n", "", m.Field, strings.Repeat("=", scale(m.Field)))
+	}
+
+	if len(measured) > 0 {
+		b.WriteString("\nmeasured tail exponents (block-instance d sweep):\n")
+		for _, s := range measured {
+			if !strings.Contains(s.Theory, "d^") {
+				continue
+			}
+			te := s.TailExponent()
+			if math.IsNaN(te) {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-34s theory %-28s measured %.3f\n", s.Name, s.Theory, te)
+		}
+	}
+	b.WriteString("\nparameter tables driving the exponents:\n\nTable 3 (semirings, λ=4/3):\n")
+	b.WriteString(params.Format(params.TableSemiring()))
+	b.WriteString("\nTable 4 (fields, λ=1.156671):\n")
+	b.WriteString(params.Format(params.TableField()))
+	b.WriteString("\nExecutable-field variant (λ=2−2/log₂7 ≈ 1.2876):\n")
+	b.WriteString(params.Format(params.TableStrassen()))
+	return b.String()
+}

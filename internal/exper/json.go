@@ -1,0 +1,60 @@
+package exper
+
+import (
+	"encoding/json"
+
+	"lbmm/internal/params"
+)
+
+// AllResults bundles every experiment's data for machine consumption
+// (plotting, regression tracking).
+type AllResults struct {
+	Table1     []Series
+	Table2     []Table2Row
+	Table3     []params.Step
+	Table4     []params.Step
+	Strassen   []params.Step
+	Milestones []params.Milestone
+	Lower      []LowerRow
+	Ablation   []AblationRow
+	Support    []SupportRow
+}
+
+// All runs every experiment at the given scale.
+func All(scale Scale) (*AllResults, error) {
+	out := &AllResults{
+		Table3:     params.TableSemiring(),
+		Table4:     params.TableField(),
+		Strassen:   params.TableStrassen(),
+		Milestones: params.Milestones(),
+	}
+	var err error
+	if out.Table1, err = Table1(scale); err != nil {
+		return nil, err
+	}
+	if out.Table2, err = Table2(scale); err != nil {
+		return nil, err
+	}
+	if out.Lower, err = LowerBounds(scale); err != nil {
+		return nil, err
+	}
+	if err = CheckLowerRows(out.Lower); err != nil {
+		return nil, err
+	}
+	if out.Ablation, err = AblationLemma31(scale); err != nil {
+		return nil, err
+	}
+	if out.Support, err = SupportCost(scale); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JSON renders all experiments as indented JSON.
+func JSON(scale Scale) ([]byte, error) {
+	all, err := All(scale)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(all, "", "  ")
+}

@@ -1,0 +1,111 @@
+package lbm
+
+import "fmt"
+
+// PlanAnalysis is the static profile of a Plan: everything the round
+// structure determines without executing it. It is the tool behind the
+// "certified lower bound" checks — a plan's per-node receive load bounds
+// the rounds any valid schedule of the same traffic must pay — and a
+// cross-check for the executed statistics.
+type PlanAnalysis struct {
+	// Rounds is the number of rounds with at least one real message.
+	Rounds int
+	// Messages is the total number of real (cross-node) messages.
+	Messages int64
+	// LocalCopies counts From==To sends.
+	LocalCopies int64
+	// SendLoad / RecvLoad are the per-node totals over the whole plan.
+	SendLoad, RecvLoad map[NodeID]int64
+	// MaxRoundSize is the largest number of real messages in one round.
+	MaxRoundSize int
+	// Violations lists model-constraint breaches found statically (a valid
+	// plan has none; the executor would reject them too).
+	Violations []string
+}
+
+// MaxSendLoad returns the plan's maximum per-node total sends.
+func (a *PlanAnalysis) MaxSendLoad() int64 { return maxMap(a.SendLoad) }
+
+// MaxRecvLoad returns the plan's maximum per-node total receives. Since a
+// node receives at most one message per round, this value is a lower bound
+// on the rounds of any plan delivering the same messages.
+func (a *PlanAnalysis) MaxRecvLoad() int64 { return maxMap(a.RecvLoad) }
+
+func maxMap(m map[NodeID]int64) int64 {
+	var mx int64
+	for _, v := range m {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// AnalyzePlan statically profiles a plan for a machine with n computers.
+func AnalyzePlan(p *Plan, n int) *PlanAnalysis {
+	a := &PlanAnalysis{
+		SendLoad: map[NodeID]int64{},
+		RecvLoad: map[NodeID]int64{},
+	}
+	for t, r := range p.Rounds {
+		sent := map[NodeID]bool{}
+		recv := map[NodeID]bool{}
+		real := 0
+		for _, s := range r {
+			if s.From < 0 || int(s.From) >= n || s.To < 0 || int(s.To) >= n {
+				a.Violations = append(a.Violations,
+					fmt.Sprintf("round %d: send %d->%d out of range", t, s.From, s.To))
+				continue
+			}
+			if s.From == s.To {
+				a.LocalCopies++
+				continue
+			}
+			if sent[s.From] {
+				a.Violations = append(a.Violations,
+					fmt.Sprintf("round %d: node %d sends twice", t, s.From))
+			}
+			if recv[s.To] {
+				a.Violations = append(a.Violations,
+					fmt.Sprintf("round %d: node %d receives twice", t, s.To))
+			}
+			sent[s.From] = true
+			recv[s.To] = true
+			a.SendLoad[s.From]++
+			a.RecvLoad[s.To]++
+			a.Messages++
+			real++
+		}
+		if real > 0 {
+			a.Rounds++
+		}
+		if real > a.MaxRoundSize {
+			a.MaxRoundSize = real
+		}
+	}
+	return a
+}
+
+// Valid reports whether the plan satisfies all model constraints.
+func (a *PlanAnalysis) Valid() bool { return len(a.Violations) == 0 }
+
+// CutTraffic counts the messages of a plan crossing a node bipartition —
+// the quantity behind the paper's §6.3 communication-complexity bounds
+// (Lemma 6.25): if Bob's side must receive k words, any schedule needs at
+// least ⌈k / |Bob|⌉ rounds, and k rounds when Bob is a single computer.
+func CutTraffic(p *Plan, alice map[NodeID]bool) (aliceToBob, bobToAlice int64) {
+	for _, r := range p.Rounds {
+		for _, s := range r {
+			if s.From == s.To {
+				continue
+			}
+			switch {
+			case alice[s.From] && !alice[s.To]:
+				aliceToBob++
+			case !alice[s.From] && alice[s.To]:
+				bobToAlice++
+			}
+		}
+	}
+	return aliceToBob, bobToAlice
+}

@@ -1,0 +1,85 @@
+// Package lbm implements the (supported) low-bandwidth machine of the
+// paper's §2 and Definition 6.3: n computers, synchronous rounds, one
+// message sent and one received per computer per round, each message
+// carrying one ring element (an O(log n)-bit word).
+//
+// An algorithm in the supported model consists of arbitrary free
+// preprocessing over the *support* (the indicator matrices and the layout)
+// that produces a communication Plan, followed by a run-time execution in
+// which the planned messages carry actual values. The Machine executes
+// plans, validates the one-send/one-receive constraint on every round,
+// counts rounds and per-node loads exactly, and interleaves free local
+// computation steps between rounds.
+package lbm
+
+import "fmt"
+
+// Kind tags the role of a value in a node-local store.
+type Kind uint8
+
+const (
+	// KA addresses an element A_ij as Key{KA, i, j, 0}.
+	KA Kind = iota
+	// KB addresses an element B_jk as Key{KB, j, k, 0}.
+	KB
+	// KX addresses an output element X_ik as Key{KX, i, k, 0}.
+	KX
+	// KP addresses a partial product or partial sum contributing to X_ik;
+	// Seq disambiguates independent partials for the same output position.
+	KP
+	// KT addresses generic scratch values owned by routing primitives.
+	KT
+	// KStage is reserved for the vnet compiler's per-round source
+	// snapshots; algorithm code must not use it.
+	KStage Kind = 15
+	// KindUser is the first Kind value available to algorithm packages for
+	// their own scratch namespaces.
+	KindUser Kind = 16
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KA:
+		return "A"
+	case KB:
+		return "B"
+	case KX:
+		return "X"
+	case KP:
+		return "P"
+	case KT:
+		return "T"
+	case KStage:
+		return "S"
+	}
+	return fmt.Sprintf("U%d", uint8(k))
+}
+
+// Key addresses one value within a node-local store.
+type Key struct {
+	Kind Kind
+	I, J int32
+	Seq  int32
+}
+
+func (k Key) String() string {
+	if k.Seq == 0 {
+		return fmt.Sprintf("%v(%d,%d)", k.Kind, k.I, k.J)
+	}
+	return fmt.Sprintf("%v(%d,%d)#%d", k.Kind, k.I, k.J, k.Seq)
+}
+
+// AKey addresses input element A_ij.
+func AKey(i, j int32) Key { return Key{Kind: KA, I: i, J: j} }
+
+// BKey addresses input element B_jk.
+func BKey(j, k int32) Key { return Key{Kind: KB, I: j, J: k} }
+
+// XKey addresses output element X_ik.
+func XKey(i, k int32) Key { return Key{Kind: KX, I: i, J: k} }
+
+// PKey addresses a partial value for output X_ik with disambiguator seq.
+func PKey(i, k, seq int32) Key { return Key{Kind: KP, I: i, J: k, Seq: seq} }
+
+// TKey addresses a scratch value.
+func TKey(a, b, seq int32) Key { return Key{Kind: KT, I: a, J: b, Seq: seq} }

@@ -1,0 +1,572 @@
+package lbm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"lbmm/internal/ring"
+)
+
+// NodeID identifies one of the n computers.
+type NodeID = int32
+
+// Op says how a delivered payload combines with the destination key.
+type Op uint8
+
+const (
+	// OpSet stores the payload, replacing any existing value.
+	OpSet Op = iota
+	// OpAcc adds the payload to the existing value with the ring addition
+	// (a free local computation at the receiver; missing values read as the
+	// ring Zero).
+	OpAcc
+	// OpSub subtracts the payload from the existing value. Valid only when
+	// the machine's ring is a Field; used by the distributed Strassen
+	// multiplier's signed block combinations.
+	OpSub
+)
+
+// Send is one planned message: node From transmits the value stored under
+// Src to node To, which stores it under Dst according to Op. A Send with
+// From == To is a free local copy (no communication happens), so routing
+// code need not special-case data that is already in place.
+type Send struct {
+	From, To NodeID
+	Src, Dst Key
+	Op       Op
+}
+
+// Round is the set of messages exchanged in one synchronous round.
+type Round []Send
+
+// Plan is a sequence of rounds, precomputed from the support.
+type Plan struct {
+	Rounds []Round
+}
+
+// Append adds a round to the plan. Empty rounds are dropped: a round in
+// which nobody communicates costs nothing in the model.
+func (p *Plan) Append(r Round) {
+	if len(r) > 0 {
+		p.Rounds = append(p.Rounds, r)
+	}
+}
+
+// Extend appends all rounds of q after the rounds of p (sequential
+// composition).
+func (p *Plan) Extend(q *Plan) {
+	p.Rounds = append(p.Rounds, q.Rounds...)
+}
+
+// NumRounds returns the number of (non-empty) rounds in the plan.
+func (p *Plan) NumRounds() int { return len(p.Rounds) }
+
+// MergeParallel overlays several plans that use disjoint sets of computers:
+// round t of the result is the union of round t of every input. The
+// machine's validator still checks the per-node constraints, so an invalid
+// overlay (shared computers) is caught at execution time.
+func MergeParallel(plans ...*Plan) *Plan {
+	out := &Plan{}
+	maxLen := 0
+	for _, p := range plans {
+		if len(p.Rounds) > maxLen {
+			maxLen = len(p.Rounds)
+		}
+	}
+	for t := 0; t < maxLen; t++ {
+		var r Round
+		for _, p := range plans {
+			if t < len(p.Rounds) {
+				r = append(r, p.Rounds[t]...)
+			}
+		}
+		out.Append(r)
+	}
+	return out
+}
+
+// Stats aggregates everything measured about an execution.
+type Stats struct {
+	// Rounds is the number of communication rounds executed.
+	Rounds int
+	// Messages is the total number of real (cross-node) messages.
+	Messages int64
+	// LocalCopies counts From==To sends, which are free in the model.
+	LocalCopies int64
+	// SendLoad and RecvLoad are per-node totals of real messages. The
+	// maximum receive load is itself a lower bound on rounds for this
+	// execution, which the lower-bound experiments exploit.
+	SendLoad, RecvLoad []int64
+	// PeakStore is the maximum number of values simultaneously held by any
+	// single node (memory realism: O(d) for the sparse algorithms).
+	PeakStore int
+}
+
+// MaxSendLoad returns max_v SendLoad[v].
+func (s *Stats) MaxSendLoad() int64 { return maxInt64(s.SendLoad) }
+
+// MaxRecvLoad returns max_v RecvLoad[v].
+func (s *Stats) MaxRecvLoad() int64 { return maxInt64(s.RecvLoad) }
+
+func maxInt64(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Machine is a low-bandwidth machine with N computers over ring R.
+type Machine struct {
+	N int
+	R ring.Semiring
+	// Workers sets the execution engine: ≤1 means the deterministic
+	// sequential engine, larger values use that many goroutines per round
+	// phase. Rounds are natural barriers, mirroring the bulk-synchronous
+	// structure of the model.
+	Workers int
+	// ParBatch is the minimum round size worth parallelizing; smaller
+	// rounds run sequentially even under the goroutine engine.
+	ParBatch int
+	// StoreLimit, when positive, makes the executor fail a round whose
+	// deliveries would push any computer's store beyond this many values —
+	// an opt-in check of the model's per-computer memory assumption
+	// (O(d) for sparse inputs, O(n) for dense ones, §2).
+	StoreLimit int
+
+	stores []map[Key]ring.Value
+	stats  Stats
+	field  ring.Field // non-nil iff R is a Field; required by OpSub
+	trace  *Trace     // nil unless tracing enabled
+
+	// round-scoped scratch for O(1) constraint checks
+	sentAt, recvAt []int32
+	roundStamp     int32
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithWorkers selects the goroutine engine with w workers.
+func WithWorkers(w int) Option { return func(m *Machine) { m.Workers = w } }
+
+// WithAutoWorkers selects the goroutine engine sized to the host CPU.
+func WithAutoWorkers() Option {
+	return func(m *Machine) { m.Workers = runtime.GOMAXPROCS(0) }
+}
+
+// WithStoreLimit enables the per-computer memory check at the given number
+// of simultaneously stored values.
+func WithStoreLimit(limit int) Option {
+	return func(m *Machine) { m.StoreLimit = limit }
+}
+
+// New returns a machine with n computers, all stores empty.
+func New(n int, r ring.Semiring, opts ...Option) *Machine {
+	m := &Machine{
+		N:        n,
+		R:        r,
+		ParBatch: 4096,
+		stores:   make([]map[Key]ring.Value, n),
+		sentAt:   make([]int32, n),
+		recvAt:   make([]int32, n),
+	}
+	for i := range m.stores {
+		m.stores[i] = make(map[Key]ring.Value)
+	}
+	if f, ok := ring.AsField(r); ok {
+		m.field = f
+	}
+	m.stats.SendLoad = make([]int64, n)
+	m.stats.RecvLoad = make([]int64, n)
+	for i := range m.sentAt {
+		m.sentAt[i] = -1
+		m.recvAt[i] = -1
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Stats returns a snapshot of the execution statistics so far.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.SendLoad = append([]int64(nil), m.stats.SendLoad...)
+	s.RecvLoad = append([]int64(nil), m.stats.RecvLoad...)
+	return s
+}
+
+// Rounds returns the number of rounds executed so far.
+func (m *Machine) Rounds() int { return m.stats.Rounds }
+
+// Get reads the value stored at node under key.
+func (m *Machine) Get(node NodeID, k Key) (ring.Value, bool) {
+	v, ok := m.stores[node][k]
+	return v, ok
+}
+
+// MustGet reads a value that must be present.
+func (m *Machine) MustGet(node NodeID, k Key) ring.Value {
+	v, ok := m.stores[node][k]
+	if !ok {
+		panic(fmt.Sprintf("lbm: node %d missing key %v", node, k))
+	}
+	return v
+}
+
+// Put stores a value at node. Intended for input loading and free local
+// computation; it never moves data between nodes.
+func (m *Machine) Put(node NodeID, k Key, v ring.Value) {
+	st := m.stores[node]
+	st[k] = v
+	if len(st) > m.stats.PeakStore {
+		m.stats.PeakStore = len(st)
+	}
+}
+
+// Acc adds v into the value at node under k (missing reads as Zero).
+func (m *Machine) Acc(node NodeID, k Key, v ring.Value) {
+	st := m.stores[node]
+	cur, ok := st[k]
+	if !ok {
+		cur = m.R.Zero()
+	}
+	st[k] = m.R.Add(cur, v)
+	if len(st) > m.stats.PeakStore {
+		m.stats.PeakStore = len(st)
+	}
+}
+
+// Del removes a key from a node's store (free local computation).
+func (m *Machine) Del(node NodeID, k Key) { delete(m.stores[node], k) }
+
+// StoreLen returns the number of values currently held by node.
+func (m *Machine) StoreLen(node NodeID) int { return len(m.stores[node]) }
+
+// checkRound validates the model constraints for one round and returns the
+// number of real messages, or an error naming the offending send.
+func (m *Machine) checkRound(r Round) (int64, error) {
+	m.roundStamp++
+	stamp := m.roundStamp
+	var real int64
+	for _, s := range r {
+		if s.From < 0 || int(s.From) >= m.N || s.To < 0 || int(s.To) >= m.N {
+			return 0, fmt.Errorf("lbm: send %v -> %v out of range (n=%d)", s.From, s.To, m.N)
+		}
+		if s.Op == OpSub && m.field == nil {
+			return 0, fmt.Errorf("lbm: OpSub requires a field, ring %s is not one", m.R.Name())
+		}
+		if s.From == s.To {
+			continue
+		}
+		if m.sentAt[s.From] == stamp {
+			return 0, fmt.Errorf("lbm: node %d sends twice in one round (key %v)", s.From, s.Src)
+		}
+		if m.recvAt[s.To] == stamp {
+			return 0, fmt.Errorf("lbm: node %d receives twice in one round (key %v)", s.To, s.Dst)
+		}
+		m.sentAt[s.From] = stamp
+		m.recvAt[s.To] = stamp
+		real++
+	}
+	return real, nil
+}
+
+// RunRound executes one synchronous round: all payloads are read from the
+// senders' stores against the round-start state, then delivered. It returns
+// an error (leaving stats untouched) if the round violates the model.
+func (m *Machine) RunRound(r Round) error {
+	real, err := m.checkRound(r)
+	if err != nil {
+		return err
+	}
+	payloads, err := m.gather(r)
+	if err != nil {
+		return err
+	}
+	m.deliver(r, payloads)
+	if m.StoreLimit > 0 {
+		for _, s := range r {
+			if len(m.stores[s.To]) > m.StoreLimit {
+				return fmt.Errorf("lbm: node %d exceeds the store limit (%d > %d values)",
+					s.To, len(m.stores[s.To]), m.StoreLimit)
+			}
+		}
+	}
+	if real > 0 {
+		m.stats.Rounds++
+		m.stats.Messages += real
+		if m.trace != nil {
+			m.trace.record(int(real))
+		}
+		for _, s := range r {
+			if s.From != s.To {
+				m.stats.SendLoad[s.From]++
+				m.stats.RecvLoad[s.To]++
+			} else {
+				m.stats.LocalCopies++
+			}
+		}
+	} else if len(r) > 0 {
+		// A round of only local copies costs nothing.
+		m.stats.LocalCopies += int64(len(r))
+	}
+	return nil
+}
+
+func (m *Machine) gather(r Round) ([]ring.Value, error) {
+	payloads := make([]ring.Value, len(r))
+	read := func(lo, hi int) error {
+		for idx := lo; idx < hi; idx++ {
+			s := r[idx]
+			v, ok := m.stores[s.From][s.Src]
+			if !ok {
+				return fmt.Errorf("lbm: node %d cannot send missing key %v", s.From, s.Src)
+			}
+			payloads[idx] = v
+		}
+		return nil
+	}
+	if m.Workers <= 1 || len(r) < m.ParBatch {
+		return payloads, read(0, len(r))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, m.Workers)
+	chunk := (len(r) + m.Workers - 1) / m.Workers
+	for w := 0; w < m.Workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(r) {
+			hi = len(r)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = read(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return payloads, nil
+}
+
+func (m *Machine) deliver(r Round, payloads []ring.Value) {
+	write := func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			s := r[idx]
+			st := m.stores[s.To]
+			m.applyOp(st, s.Dst, s.Op, payloads[idx])
+			if len(st) > m.stats.PeakStore {
+				m.stats.PeakStore = len(st)
+			}
+		}
+	}
+	// Receivers are unique within a valid round except for local copies;
+	// local copies share From==To with at most ... still unique To? A node
+	// may appear as To of a local copy and of a real message in the same
+	// round. To stay race-free, the parallel engine shards by receiver.
+	if m.Workers <= 1 || len(r) < m.ParBatch {
+		write(0, len(r))
+		return
+	}
+	var wg sync.WaitGroup
+	var peakMu sync.Mutex
+	peak := m.stats.PeakStore
+	for w := 0; w < m.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			localPeak := 0
+			for idx := range r {
+				s := r[idx]
+				if int(s.To)%m.Workers != w {
+					continue
+				}
+				st := m.stores[s.To]
+				m.applyOp(st, s.Dst, s.Op, payloads[idx])
+				if len(st) > localPeak {
+					localPeak = len(st)
+				}
+			}
+			peakMu.Lock()
+			if localPeak > peak {
+				peak = localPeak
+			}
+			peakMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	m.stats.PeakStore = peak
+}
+
+// applyOp merges a delivered payload into a store slot.
+func (m *Machine) applyOp(st map[Key]ring.Value, dst Key, op Op, payload ring.Value) {
+	switch op {
+	case OpAcc:
+		cur, ok := st[dst]
+		if !ok {
+			cur = m.R.Zero()
+		}
+		st[dst] = m.R.Add(cur, payload)
+	case OpSub:
+		cur, ok := st[dst]
+		if !ok {
+			cur = m.R.Zero()
+		}
+		st[dst] = m.field.Sub(cur, payload)
+	default:
+		st[dst] = payload
+	}
+}
+
+// Run executes every round of the plan in order.
+func (m *Machine) Run(p *Plan) error {
+	for t, r := range p.Rounds {
+		if err := m.RunRound(r); err != nil {
+			return fmt.Errorf("round %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// LocalAll applies a free local-computation step to every node. The callback
+// receives a view restricted to that node. With the goroutine engine the
+// nodes are processed in parallel.
+func (m *Machine) LocalAll(f func(node NodeID, v *LocalView)) {
+	if m.Workers <= 1 {
+		for i := 0; i < m.N; i++ {
+			lv := LocalView{m: m, node: NodeID(i)}
+			f(NodeID(i), &lv)
+		}
+		m.refreshPeak()
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m.N + m.Workers - 1) / m.Workers
+	for w := 0; w < m.Workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m.N {
+			hi = m.N
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				lv := LocalView{m: m, node: NodeID(i)}
+				f(NodeID(i), &lv)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	m.refreshPeak()
+}
+
+func (m *Machine) refreshPeak() {
+	for i := range m.stores {
+		if len(m.stores[i]) > m.stats.PeakStore {
+			m.stats.PeakStore = len(m.stores[i])
+		}
+	}
+}
+
+// LocalView is a node-restricted store handle passed to local steps. Local
+// steps must only touch their own node's data; the view makes that the path
+// of least resistance.
+type LocalView struct {
+	m    *Machine
+	node NodeID
+}
+
+// Node returns the node this view belongs to.
+func (v *LocalView) Node() NodeID { return v.node }
+
+// Get reads a local value.
+func (v *LocalView) Get(k Key) (ring.Value, bool) { return v.m.Get(v.node, k) }
+
+// Put writes a local value.
+func (v *LocalView) Put(k Key, val ring.Value) {
+	// Peak tracking happens in LocalAll's refresh; write directly.
+	v.m.stores[v.node][k] = val
+}
+
+// Acc accumulates into a local value.
+func (v *LocalView) Acc(k Key, val ring.Value) {
+	st := v.m.stores[v.node]
+	cur, ok := st[k]
+	if !ok {
+		cur = v.m.R.Zero()
+	}
+	st[k] = v.m.R.Add(cur, val)
+}
+
+// Del removes a local value.
+func (v *LocalView) Del(k Key) { delete(v.m.stores[v.node], k) }
+
+// Each iterates over the node's current store. Mutating during iteration is
+// not allowed; collect keys first.
+func (v *LocalView) Each(f func(k Key, val ring.Value)) {
+	for k, val := range v.m.stores[v.node] {
+		f(k, val)
+	}
+}
+
+// Ring returns the machine's ring.
+func (v *LocalView) Ring() ring.Semiring { return v.m.R }
+
+// ---------------------------------------------------------------------------
+// Plan serialization
+
+// Encode writes the plan in gob form; Decode reads it back. Plans are pure
+// data (the supported-model preprocessing), so expensive schedules — deep
+// Strassen recursions, big clusterings — can be computed once and cached
+// on disk.
+func (p *Plan) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// DecodePlan reads a plan written by Encode.
+func DecodePlan(r io.Reader) (*Plan, error) {
+	var p Plan
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Reset clears all stores and statistics, returning the machine to its
+// freshly-constructed state (engine settings are kept). Prepared-plan
+// workloads reuse one machine across many value sets without reallocating
+// the n stores.
+func (m *Machine) Reset() {
+	for i := range m.stores {
+		clear(m.stores[i])
+	}
+	m.stats = Stats{
+		SendLoad: m.stats.SendLoad,
+		RecvLoad: m.stats.RecvLoad,
+	}
+	for i := range m.stats.SendLoad {
+		m.stats.SendLoad[i] = 0
+		m.stats.RecvLoad[i] = 0
+	}
+	if m.trace != nil {
+		m.trace = &Trace{Marks: map[int][]string{}}
+	}
+}

@@ -1,0 +1,123 @@
+package lbm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trace records a per-round message timeline with phase labels, for
+// understanding where an algorithm's round budget goes. Tracing is off by
+// default; enable it with WithTrace or EnableTrace.
+type Trace struct {
+	// PerRound[i] is the number of real messages in the i-th counted round.
+	PerRound []int
+	// Marks are phase labels: Marks[r] annotates the boundary *before*
+	// counted round r.
+	Marks map[int][]string
+}
+
+// WithTrace enables round tracing on a new machine.
+func WithTrace() Option { return func(m *Machine) { m.EnableTrace() } }
+
+// EnableTrace switches tracing on (no-op if already on).
+func (m *Machine) EnableTrace() {
+	if m.trace == nil {
+		m.trace = &Trace{Marks: map[int][]string{}}
+	}
+}
+
+// Trace returns the recorded trace, or nil when tracing is off.
+func (m *Machine) Trace() *Trace { return m.trace }
+
+// Mark annotates the current position in the round timeline with a phase
+// label (free; no-op when tracing is off).
+func (m *Machine) Mark(label string) {
+	if m.trace == nil {
+		return
+	}
+	r := len(m.trace.PerRound)
+	m.trace.Marks[r] = append(m.trace.Marks[r], label)
+}
+
+// record appends one counted round with its real-message count.
+func (tr *Trace) record(realMsgs int) {
+	tr.PerRound = append(tr.PerRound, realMsgs)
+}
+
+// Timeline renders the trace as a compact text histogram: one line per
+// phase segment with its round span, message volume, and a sparkline of
+// per-round sizes.
+func (tr *Trace) Timeline() string {
+	if tr == nil {
+		return "(tracing disabled)\n"
+	}
+	type segment struct {
+		label    string
+		from, to int // round range [from, to)
+	}
+	var segs []segment
+	current := "start"
+	from := 0
+	for r := 0; r <= len(tr.PerRound); r++ {
+		labels, marked := tr.Marks[r]
+		if marked && r > from {
+			segs = append(segs, segment{label: current, from: from, to: r})
+			from = r
+		}
+		if marked {
+			current = strings.Join(labels, "+")
+			if r == from && len(segs) == 0 && r == 0 {
+				// Label at the very start replaces the default.
+			}
+		}
+	}
+	if from < len(tr.PerRound) {
+		segs = append(segs, segment{label: current, from: from, to: len(tr.PerRound)})
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %10s  %s\n", "phase", "rounds", "messages", "per-round profile")
+	for _, s := range segs {
+		total := 0
+		peak := 0
+		for _, v := range tr.PerRound[s.from:s.to] {
+			total += v
+			if v > peak {
+				peak = v
+			}
+		}
+		fmt.Fprintf(&b, "%-28s %10d %10d  %s\n",
+			s.label, s.to-s.from, total, spark(tr.PerRound[s.from:s.to], peak))
+	}
+	return b.String()
+}
+
+// spark renders up to 40 buckets of the round sizes as a unicode sparkline.
+func spark(vals []int, peak int) string {
+	if len(vals) == 0 || peak == 0 {
+		return ""
+	}
+	const width = 40
+	levels := []rune("▁▂▃▄▅▆▇█")
+	buckets := len(vals)
+	if buckets > width {
+		buckets = width
+	}
+	out := make([]rune, buckets)
+	for i := 0; i < buckets; i++ {
+		lo := i * len(vals) / buckets
+		hi := (i + 1) * len(vals) / buckets
+		if hi == lo {
+			hi = lo + 1
+		}
+		mx := 0
+		for _, v := range vals[lo:hi] {
+			if v > mx {
+				mx = v
+			}
+		}
+		idx := mx * (len(levels) - 1) / peak
+		out[i] = levels[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,28 @@
+package lower_test
+
+import (
+	"fmt"
+
+	"lbmm/internal/lower"
+)
+
+// ExampleBooleanDegree computes deg(OR_6) = 6, the fact behind
+// Corollary 6.8's Ω(log n) bound.
+func ExampleBooleanDegree() {
+	deg := lower.BooleanDegree(func(mask uint32) bool { return mask != 0 }, 6)
+	fmt.Println("deg(OR_6) =", deg)
+	fmt.Println("rounds ≥", lower.DegreeBound(deg))
+	// Output:
+	// deg(OR_6) = 6
+	// rounds ≥ 3
+}
+
+// ExampleSumInstance builds Lemma 6.1's aggregation-hard instance.
+func ExampleSumInstance() {
+	inst := lower.SumInstance(8)
+	fmt.Println("triangles:", inst.CountTriangles())
+	fmt.Println("proven bound:", lower.SumBound(8), "rounds")
+	// Output:
+	// triangles: 8
+	// proven bound: 3 rounds
+}

@@ -1,0 +1,160 @@
+package matrix
+
+// This file implements the bounded-degeneracy machinery of the paper's §1.3:
+// a matrix A is in BD(d) if we can recursively delete a row or column with
+// at most d remaining entries. Interpreting A as a bipartite graph (rows on
+// one side, columns on the other, an edge per entry), this is exactly graph
+// d-degeneracy, computed by the classic min-degree peeling with a bucket
+// queue in O(nnz + n) time.
+
+// ElimStep records one step of a degeneracy elimination order.
+type ElimStep struct {
+	// IsRow reports whether a row (true) or a column (false) was deleted.
+	IsRow bool
+	// Index is the row or column index deleted.
+	Index int
+	// Degree is the number of entries still present when it was deleted.
+	Degree int
+}
+
+// Degeneracy returns the degeneracy of the support: the smallest d such that
+// s ∈ BD(d). An empty support has degeneracy 0.
+func (s *Support) Degeneracy() int {
+	d, _ := s.EliminationOrder()
+	return d
+}
+
+// EliminationOrder runs min-degree peeling over the bipartite row/column
+// graph and returns the degeneracy together with the full elimination order.
+// The order is a witness: replaying it deletes every entry, and every step's
+// Degree is at most the returned degeneracy.
+func (s *Support) EliminationOrder() (int, []ElimStep) {
+	n := s.N
+	// Node ids: rows are 0..n-1, columns are n..2n-1.
+	deg := make([]int, 2*n)
+	for i, row := range s.Rows {
+		deg[i] = len(row)
+	}
+	for j, col := range s.Cols {
+		deg[n+j] = len(col)
+	}
+
+	// Bucket queue over degrees. Degrees only decrease between removals, so
+	// scanning upward from a cursor that only moves down on decrease keeps
+	// the total work linear.
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]int32, maxDeg+1)
+	where := make([]int32, 2*n) // position of node within its bucket
+	for v := 0; v < 2*n; v++ {
+		b := deg[v]
+		where[v] = int32(len(buckets[b]))
+		buckets[b] = append(buckets[b], int32(v))
+	}
+	removed := make([]bool, 2*n)
+
+	moveBucket := func(v int, from, to int) {
+		bucket := buckets[from]
+		pos := where[v]
+		last := bucket[len(bucket)-1]
+		bucket[pos] = last
+		where[last] = pos
+		buckets[from] = bucket[:len(bucket)-1]
+		where[v] = int32(len(buckets[to]))
+		buckets[to] = append(buckets[to], int32(v))
+	}
+
+	degeneracy := 0
+	order := make([]ElimStep, 0, 2*n)
+	cursor := 0
+	for step := 0; step < 2*n; step++ {
+		// Find the minimum non-empty bucket.
+		for cursor <= maxDeg && len(buckets[cursor]) == 0 {
+			cursor++
+		}
+		if cursor > maxDeg {
+			break
+		}
+		bucket := buckets[cursor]
+		v := int(bucket[len(bucket)-1])
+		buckets[cursor] = bucket[:len(bucket)-1]
+		removed[v] = true
+		if cursor > degeneracy {
+			degeneracy = cursor
+		}
+		st := ElimStep{IsRow: v < n, Index: v, Degree: deg[v]}
+		if !st.IsRow {
+			st.Index = v - n
+		}
+		order = append(order, st)
+
+		// Decrement neighbours that are still present.
+		var neigh []int32
+		var offset int
+		if v < n {
+			neigh = s.Rows[v]
+			offset = n
+		} else {
+			neigh = s.Cols[v-n]
+			offset = 0
+		}
+		for _, w := range neigh {
+			u := int(w) + offset
+			if removed[u] {
+				continue
+			}
+			moveBucket(u, deg[u], deg[u]-1)
+			deg[u]--
+			if deg[u] < cursor {
+				cursor = deg[u]
+			}
+		}
+	}
+	return degeneracy, order
+}
+
+// SplitRSCS decomposes s ∈ BD(d) as the disjoint union of a row-sparse part
+// (≤ d entries per row) and a column-sparse part (≤ d entries per column),
+// following the paper's §1.3: replay a degeneracy-d elimination; entries
+// deleted with a row go to the RS part, entries deleted with a column go to
+// the CS part. ok is false if the degeneracy of s exceeds d, in which case
+// both parts are nil.
+func (s *Support) SplitRSCS(d int) (rs, cs *Support, ok bool) {
+	degeneracy, order := s.EliminationOrder()
+	if degeneracy > d {
+		return nil, nil, false
+	}
+	n := s.N
+	// Replay the order, tracking which counterpart nodes are still alive.
+	rowAlive := make([]bool, n)
+	colAlive := make([]bool, n)
+	for i := range rowAlive {
+		rowAlive[i] = true
+		colAlive[i] = true
+	}
+	var rsEntries, csEntries [][2]int
+	for _, st := range order {
+		if st.IsRow {
+			i := st.Index
+			rowAlive[i] = false
+			for _, j := range s.Rows[i] {
+				if colAlive[j] {
+					rsEntries = append(rsEntries, [2]int{i, int(j)})
+				}
+			}
+		} else {
+			j := st.Index
+			colAlive[j] = false
+			for _, i := range s.Cols[j] {
+				if rowAlive[i] {
+					csEntries = append(csEntries, [2]int{int(i), j})
+				}
+			}
+		}
+	}
+	return NewSupport(n, rsEntries), NewSupport(n, csEntries), true
+}

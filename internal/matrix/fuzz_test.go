@@ -1,0 +1,56 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSupport checks the parser never panics and that everything it
+// accepts round-trips.
+func FuzzReadSupport(f *testing.F) {
+	f.Add("%%lbmm support\n3 2\n0 1\n2 2\n")
+	f.Add("%%lbmm support\n0 0\n")
+	f.Add("junk")
+	f.Add("%%lbmm support\n4 1\n-1 0\n")
+	f.Add("%%lbmm support\n99999999 1\n0 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		s, err := ReadSupport(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSupport(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadSupport(&buf)
+		if err != nil {
+			t.Fatalf("accepted input fails roundtrip: %v", err)
+		}
+		if back.N != s.N || back.NNZ != s.NNZ {
+			t.Fatalf("roundtrip changed shape")
+		}
+	})
+}
+
+// FuzzReadSparse checks the matrix parser never panics.
+func FuzzReadSparse(f *testing.F) {
+	f.Add("%%lbmm matrix counting\n3 1\n0 1 5\n")
+	f.Add("%%lbmm matrix real\n2 1\n0 0 -1.5\n")
+	f.Add("%%lbmm matrix minplus\n2 0\n")
+	f.Add("%%lbmm matrix bogus\n2 0\n")
+	f.Add("%%lbmm matrix counting\n2 1\n0 0 NaN\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		m, err := ReadSparse(strings.NewReader(in), nil)
+		if err != nil {
+			return
+		}
+		_ = m.NNZ()
+	})
+}

@@ -1,0 +1,128 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lbmm/internal/ring"
+)
+
+func TestSupportRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		s := randomSupport(rng, 6+rng.Intn(30), rng.Intn(80))
+		var buf bytes.Buffer
+		if err := WriteSupport(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSupport(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != s.N || got.NNZ != s.NNZ {
+			t.Fatalf("roundtrip shape: %d/%d vs %d/%d", got.N, got.NNZ, s.N, s.NNZ)
+		}
+		for _, e := range s.Entries() {
+			if !got.Has(e[0], e[1]) {
+				t.Fatalf("missing entry %v", e)
+			}
+		}
+	}
+}
+
+func TestSparseRoundTripAllRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, r := range ring.All() {
+		s := randomSupport(rng, 12, 30)
+		m := Random(s, r, 7)
+		var buf bytes.Buffer
+		if err := WriteSparse(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		// Read with the explicit ring.
+		got, err := ReadSparse(bytes.NewReader(buf.Bytes()), r)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if !Equal(got, m) {
+			t.Fatalf("%s: roundtrip mismatch", r.Name())
+		}
+		// Read with the ring inferred from the banner.
+		got2, err := ReadSparse(bytes.NewReader(buf.Bytes()), nil)
+		if err != nil {
+			t.Fatalf("%s infer: %v", r.Name(), err)
+		}
+		if got2.R.Name() != r.Name() {
+			t.Fatalf("inferred ring %s, want %s", got2.R.Name(), r.Name())
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                                   // empty
+		"junk\n1 1\n",                        // bad banner
+		"%%lbmm support\n",                   // missing dims
+		"%%lbmm support\n4 1\n9 9\n",         // out of range
+		"%%lbmm support\n4 2\n1 1\n",         // nnz mismatch
+		"%%lbmm matrix counting\n4 1\nx\n",   // bad entry
+		"%%lbmm support\n4 0\n",              // support read as matrix (below)
+		"%%lbmm matrix nosuch\n1 0\n",        // unknown ring
+		"%%lbmm matrix counting\n4 1\n0 0\n", // matrix entry missing value
+	}
+	for i, c := range cases {
+		if i == 6 {
+			if _, err := ReadSparse(strings.NewReader(c), nil); err == nil {
+				t.Errorf("case %d: matrix reader accepted support", i)
+			}
+			continue
+		}
+		_, errS := ReadSupport(strings.NewReader(c))
+		_, errM := ReadSparse(strings.NewReader(c), nil)
+		if errS == nil && errM == nil {
+			t.Errorf("case %d accepted by both readers: %q", i, c)
+		}
+	}
+}
+
+func TestRingByName(t *testing.T) {
+	for _, r := range ring.All() {
+		got, err := RingByName(r.Name())
+		if err != nil || got.Name() != r.Name() {
+			t.Errorf("RingByName(%s) = %v, %v", r.Name(), got, err)
+		}
+	}
+	if _, err := RingByName("bogus"); err == nil {
+		t.Error("bogus ring accepted")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	in := "%%lbmm support\n% a comment\n\n3 2\n% another\n0 1\n\n2 2\n"
+	s, err := ReadSupport(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(0, 1) || !s.Has(2, 2) || s.NNZ != 2 {
+		t.Error("comment handling broken")
+	}
+}
+
+func TestReadRejectsHostileHeaders(t *testing.T) {
+	cases := []string{
+		"%%lbmm support\n99993999 1\n0 0\n",              // dimension OOM vector
+		"%%lbmm support\n-5 0\n",                         // negative n
+		"%%lbmm support\n4 -1\n",                         // negative nnz
+		"%%lbmm support\n4 17\n",                         // nnz > n²
+		"%%lbmm matrix counting\n4194304 999999999999\n", // absurd nnz claim
+	}
+	for i, c := range cases {
+		if _, err := ReadSupport(strings.NewReader(c)); err == nil {
+			if _, err2 := ReadSparse(strings.NewReader(c), nil); err2 == nil {
+				t.Errorf("case %d accepted: %q", i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package matrix provides sparse matrices over a semiring together with the
+// machinery the paper's supported model needs: indicator ("support")
+// matrices that are known in advance, the sparsity classes
+// US ⊆ {RS,CS} ⊆ BD ⊆ AS ⊆ GM, degeneracy orders, and the BD = RS + CS
+// decomposition used by Theorem 5.11.
+package matrix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Support is an n×n 0/1 indicator matrix à la the paper's Â, B̂, X̂: it
+// records which positions are potentially nonzero (for inputs) or of
+// interest (for the output). The support is what the supported model reveals
+// in advance; all communication plans are functions of supports only.
+type Support struct {
+	N int
+	// Rows[i] lists the column indices of row i's entries, sorted ascending.
+	Rows [][]int32
+	// Cols[j] lists the row indices of column j's entries, sorted ascending.
+	Cols [][]int32
+	// NNZ is the total number of entries.
+	NNZ int
+}
+
+// NewSupport builds a support from a list of (row, col) entries. Duplicate
+// entries collapse; out-of-range entries panic.
+func NewSupport(n int, entries [][2]int) *Support {
+	s := &Support{
+		N:    n,
+		Rows: make([][]int32, n),
+		Cols: make([][]int32, n),
+	}
+	seen := make(map[[2]int]struct{}, len(entries))
+	for _, e := range entries {
+		i, j := e[0], e[1]
+		if i < 0 || i >= n || j < 0 || j >= n {
+			panic(fmt.Sprintf("matrix: entry (%d,%d) out of range for n=%d", i, j, n))
+		}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		s.Rows[i] = append(s.Rows[i], int32(j))
+		s.Cols[j] = append(s.Cols[j], int32(i))
+		s.NNZ++
+	}
+	for i := range s.Rows {
+		sortInt32(s.Rows[i])
+	}
+	for j := range s.Cols {
+		sortInt32(s.Cols[j])
+	}
+	return s
+}
+
+func sortInt32(xs []int32) {
+	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+}
+
+// Has reports whether position (i, j) is in the support.
+func (s *Support) Has(i, j int) bool {
+	row := s.Rows[i]
+	k := sort.Search(len(row), func(k int) bool { return row[k] >= int32(j) })
+	return k < len(row) && row[k] == int32(j)
+}
+
+// Entries returns all (row, col) entries in row-major order.
+func (s *Support) Entries() [][2]int {
+	out := make([][2]int, 0, s.NNZ)
+	for i, row := range s.Rows {
+		for _, j := range row {
+			out = append(out, [2]int{i, int(j)})
+		}
+	}
+	return out
+}
+
+// Transpose returns the support of the transposed matrix.
+func (s *Support) Transpose() *Support {
+	t := &Support{N: s.N, NNZ: s.NNZ, Rows: make([][]int32, s.N), Cols: make([][]int32, s.N)}
+	for i := range s.Rows {
+		t.Cols[i] = append([]int32(nil), s.Rows[i]...)
+	}
+	for j := range s.Cols {
+		t.Rows[j] = append([]int32(nil), s.Cols[j]...)
+	}
+	return t
+}
+
+// Union returns the support containing the entries of both arguments. The
+// two supports must have equal N.
+func Union(a, b *Support) *Support {
+	if a.N != b.N {
+		panic("matrix: Union dimension mismatch")
+	}
+	entries := a.Entries()
+	entries = append(entries, b.Entries()...)
+	return NewSupport(a.N, entries)
+}
+
+// MaxRowNNZ returns the maximum number of entries in any row.
+func (s *Support) MaxRowNNZ() int {
+	m := 0
+	for _, row := range s.Rows {
+		if len(row) > m {
+			m = len(row)
+		}
+	}
+	return m
+}
+
+// MaxColNNZ returns the maximum number of entries in any column.
+func (s *Support) MaxColNNZ() int {
+	m := 0
+	for _, col := range s.Cols {
+		if len(col) > m {
+			m = len(col)
+		}
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Sparsity classes
+
+// Class enumerates the paper's sparsity families, ordered by containment
+// where comparable: US ⊆ {RS, CS} ⊆ BD ⊆ AS ⊆ GM.
+type Class uint8
+
+const (
+	// US = uniformly sparse: at most d entries per row and per column.
+	US Class = iota
+	// RS = row-sparse: at most d entries per row.
+	RS
+	// CS = column-sparse: at most d entries per column.
+	CS
+	// BD = bounded degeneracy: the matrix can be eliminated by repeatedly
+	// deleting a row or column with at most d remaining entries.
+	BD
+	// AS = average-sparse: at most d·n entries in total.
+	AS
+	// GM = general matrix: no sparsity constraint.
+	GM
+)
+
+func (c Class) String() string {
+	switch c {
+	case US:
+		return "US"
+	case RS:
+		return "RS"
+	case CS:
+		return "CS"
+	case BD:
+		return "BD"
+	case AS:
+		return "AS"
+	case GM:
+		return "GM"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// ParseClass parses a class name as printed by Class.String.
+func ParseClass(s string) (Class, error) {
+	for _, c := range []Class{US, RS, CS, BD, AS, GM} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return GM, fmt.Errorf("matrix: unknown sparsity class %q", s)
+}
+
+// Contains reports whether class c contains class o (every matrix of class o
+// at parameter d is also in class c at parameter d). RS and CS are
+// incomparable with each other.
+func (c Class) Contains(o Class) bool {
+	if c == o {
+		return true
+	}
+	switch c {
+	case GM:
+		return true
+	case AS:
+		return o != GM
+	case BD:
+		return o == US || o == RS || o == CS
+	case RS, CS:
+		return o == US
+	default: // US
+		return false
+	}
+}
+
+// IsUS reports whether s is uniformly sparse at parameter d.
+func (s *Support) IsUS(d int) bool { return s.IsRS(d) && s.IsCS(d) }
+
+// IsRS reports whether s is row-sparse at parameter d.
+func (s *Support) IsRS(d int) bool { return s.MaxRowNNZ() <= d }
+
+// IsCS reports whether s is column-sparse at parameter d.
+func (s *Support) IsCS(d int) bool { return s.MaxColNNZ() <= d }
+
+// IsBD reports whether s has degeneracy at most d.
+func (s *Support) IsBD(d int) bool { return s.Degeneracy() <= d }
+
+// IsAS reports whether s is average-sparse at parameter d (≤ d·n entries).
+func (s *Support) IsAS(d int) bool { return s.NNZ <= d*s.N }
+
+// InClass reports whether s belongs to class c at parameter d.
+func (s *Support) InClass(c Class, d int) bool {
+	switch c {
+	case US:
+		return s.IsUS(d)
+	case RS:
+		return s.IsRS(d)
+	case CS:
+		return s.IsCS(d)
+	case BD:
+		return s.IsBD(d)
+	case AS:
+		return s.IsAS(d)
+	default:
+		return true
+	}
+}
+
+// Classify returns the smallest class containing s at parameter d, with US
+// preferred, then RS, then CS, then BD, AS, GM.
+func (s *Support) Classify(d int) Class {
+	switch {
+	case s.IsUS(d):
+		return US
+	case s.IsRS(d):
+		return RS
+	case s.IsCS(d):
+		return CS
+	case s.IsBD(d):
+		return BD
+	case s.IsAS(d):
+		return AS
+	default:
+		return GM
+	}
+}
+
+// MarshalJSON encodes the class by name.
+func (c Class) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + c.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a class name.
+func (c *Class) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	got, err := ParseClass(s)
+	if err != nil {
+		return err
+	}
+	*c = got
+	return nil
+}

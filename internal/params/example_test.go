@@ -1,0 +1,28 @@
+package params_test
+
+import (
+	"fmt"
+
+	"lbmm/internal/params"
+)
+
+// ExampleFinalExponent derives the paper's headline exponents from the
+// fixpoint formula α* = (8+λ)/5.
+func ExampleFinalExponent() {
+	fmt.Printf("semiring: %.4f\n", params.FinalExponent(params.LambdaSemiring))
+	fmt.Printf("field:    %.4f\n", params.FinalExponent(params.LambdaField))
+	// Output:
+	// semiring: 1.8667
+	// field:    1.8313
+}
+
+// ExampleSchedule regenerates the first row of the paper's Table 3.
+func ExampleSchedule() {
+	steps := params.Schedule(params.LambdaSemiring, 1e-5, 1.867)
+	s := steps[0]
+	fmt.Printf("ε=%.5f β=%.5f\n", s.Epsilon, s.Beta)
+	fmt.Println("steps:", len(steps))
+	// Output:
+	// ε=0.10672 β=1.89328
+	// steps: 4
+}

@@ -1,0 +1,121 @@
+// Package params reproduces the paper's exponent optimization: the step
+// tables (Tables 3 and 4) that drive the two-phase algorithm of Theorem 4.2
+// and the resulting headline exponents O(d^1.867) (semirings) and
+// O(d^1.832) (fields).
+//
+// The recurrence (proof of Lemma 4.13): one application of Lemma 4.11 with
+// parameters (δ, γ, ε) processes clustered batches in O(d^α) rounds where
+//
+//	α = 5ε − γ + 4δ + λ,
+//
+// λ being the exponent of the dense batch routine (Lemma 2.1: λ = 4/3 for
+// semirings, λ = 1.156671 for fields with ω < 2.371552, λ = 2−2/log₂7 for
+// our executable Strassen), and leaves a residual of ≤ d^β·n triangles with
+// β = 2 − ε. The next step re-enters with γ' = 2 − β = ε. Choosing each ε
+// maximal subject to α ≤ α* and iterating to the fixpoint β = α* yields
+//
+//	α* = (8 + λ)/5,
+//
+// i.e. 28/15 ≈ 1.8667 for semirings and ≈ 1.83134 for fields — the paper
+// rounds these up to the printed 1.867 and 1.832 targets. Lemma 3.1 then
+// finishes the residual in O(d^β + d + log d²) = O(d^α*) rounds.
+package params
+
+import (
+	"fmt"
+	"math"
+)
+
+// Step is one row of a parameter table.
+type Step struct {
+	Delta, Gamma, Epsilon, Alpha, Beta float64
+}
+
+// LambdaSemiring is the dense semiring exponent of Lemma 2.1 ([3]).
+const LambdaSemiring = 4.0 / 3.0
+
+// LambdaField is the dense field exponent of Lemma 2.1 with the ω bound of
+// [23], as printed in the paper.
+const LambdaField = 1.156671
+
+// LambdaStrassen is the dense field exponent achieved by the *executable*
+// distributed Strassen in this repository: 2 − 2/log₂7.
+var LambdaStrassen = 2 - 2/math.Log2(7)
+
+// FinalExponent returns the fixpoint exponent (8+λ)/5 of the two-phase
+// optimization for a dense-batch exponent λ.
+func FinalExponent(lambda float64) float64 { return (8 + lambda) / 5 }
+
+// roundDown5 truncates to 5 decimals (the paper's printed precision).
+func roundDown5(x float64) float64 { return math.Floor(x*1e5+1e-9) / 1e5 }
+
+// round5 rounds to 5 decimals.
+func round5(x float64) float64 { return math.Round(x*1e5) / 1e5 }
+
+// Schedule generates the step table for dense exponent lambda, slack delta
+// and target exponent target (pass 0 to use the printed-table convention:
+// FinalExponent rounded up to 3 decimals). Each step uses the maximal ε
+// (truncated to 5 decimals) with α ≤ target, matching the paper's tables.
+func Schedule(lambda, delta, target float64) []Step {
+	if target == 0 {
+		target = math.Ceil(FinalExponent(lambda)*1e3) / 1e3
+	}
+	var steps []Step
+	gamma := 0.0
+	prevEps := -1.0
+	for iter := 0; iter < 100; iter++ {
+		eps := roundDown5((target + gamma - 4*delta - lambda) / 5)
+		alpha := round5(5*eps - gamma + 4*delta + lambda)
+		beta := round5(2 - eps)
+		steps = append(steps, Step{Delta: delta, Gamma: gamma, Epsilon: eps, Alpha: alpha, Beta: beta})
+		// Converged when the residual exponent meets the target, or when ε
+		// stops improving at the printed precision (the fixpoint itself).
+		if beta <= target || eps-prevEps < 1e-9 {
+			break
+		}
+		prevEps = eps
+		gamma = eps
+	}
+	return steps
+}
+
+// TableSemiring reproduces Table 3 (λ = 4/3, δ = 1e-5, target 1.867).
+func TableSemiring() []Step { return Schedule(LambdaSemiring, 1e-5, 1.867) }
+
+// TableField reproduces Table 4 (λ = 1.156671, δ = 1e-5, target 1.832).
+func TableField() []Step { return Schedule(LambdaField, 1e-5, 1.832) }
+
+// TableStrassen is the executable-field variant: the same optimization run
+// at our distributed Strassen's λ = 2−2/log₂7 ≈ 1.2876, giving the target
+// this repository's field pipeline can actually realize end to end.
+func TableStrassen() []Step { return Schedule(LambdaStrassen, 1e-5, 0) }
+
+// Format renders a step table like the paper's Tables 3/4.
+func Format(steps []Step) string {
+	out := "Step      δ        γ        ε        α        β\n"
+	for i, s := range steps {
+		out += fmt.Sprintf("%4d  %.5f  %.5f  %.5f  %.5f  %.5f\n",
+			i+1, s.Delta, s.Gamma, s.Epsilon, s.Alpha, s.Beta)
+	}
+	return out
+}
+
+// Milestone is one point of the §1.2 progress figure.
+type Milestone struct {
+	Label    string
+	Semiring float64
+	Field    float64
+}
+
+// Milestones returns the exponent ladder of the §1.2 figure: the trivial
+// bound, the prior work [13], this paper, and the conditional lower-bound
+// milestones implied by dense matrix multiplication.
+func Milestones() []Milestone {
+	return []Milestone{
+		{Label: "trivial", Semiring: 2, Field: 2},
+		{Label: "Gupta et al. (SPAA 2022)", Semiring: 1.927, Field: 1.907},
+		{Label: "this repo (executable field MM)", Semiring: 1.867, Field: math.Ceil(FinalExponent(LambdaStrassen)*1e3) / 1e3},
+		{Label: "this work (Thm 4.2)", Semiring: 1.867, Field: 1.832},
+		{Label: "milestone (d=n collapse)", Semiring: 4.0 / 3.0, Field: 1.157},
+	}
+}

@@ -1,0 +1,130 @@
+package params
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestTable3Reproduced checks the semiring table against the paper's
+// printed Table 3, digit for digit on γ, ε, β and within 2e-5 on α (the
+// paper's α column shows independent rounding).
+func TestTable3Reproduced(t *testing.T) {
+	want := []Step{
+		{0.00001, 0.00000, 0.10672, 1.86698, 1.89328},
+		{0.00001, 0.10672, 0.12806, 1.86696, 1.87194},
+		{0.00001, 0.12806, 0.13233, 1.86697, 1.86767},
+		{0.00001, 0.13233, 0.13319, 1.86700, 1.86681},
+	}
+	got := TableSemiring()
+	if len(got) != len(want) {
+		t.Fatalf("table 3 has %d steps, want %d:\n%s", len(got), len(want), Format(got))
+	}
+	for i := range want {
+		if !approx(got[i].Gamma, want[i].Gamma, 1e-9) ||
+			!approx(got[i].Epsilon, want[i].Epsilon, 1e-5+1e-9) ||
+			!approx(got[i].Beta, want[i].Beta, 1e-5+1e-9) ||
+			!approx(got[i].Alpha, want[i].Alpha, 2e-5) {
+			t.Errorf("step %d: got %+v want %+v", i+1, got[i], want[i])
+		}
+	}
+}
+
+// TestTable4Reproduced checks the field table against the paper's Table 4.
+func TestTable4Reproduced(t *testing.T) {
+	want := []Step{
+		{0.00001, 0.00000, 0.13505, 1.83197, 1.86495},
+		{0.00001, 0.13505, 0.16206, 1.83197, 1.83794},
+		{0.00001, 0.16206, 0.16746, 1.83196, 1.83254},
+		{0.00001, 0.16746, 0.16854, 1.83196, 1.83146},
+	}
+	got := TableField()
+	if len(got) != len(want) {
+		t.Fatalf("table 4 has %d steps, want %d:\n%s", len(got), len(want), Format(got))
+	}
+	for i := range want {
+		if !approx(got[i].Gamma, want[i].Gamma, 1e-9) ||
+			!approx(got[i].Epsilon, want[i].Epsilon, 1e-5+1e-9) ||
+			!approx(got[i].Beta, want[i].Beta, 1e-5+1e-9) ||
+			!approx(got[i].Alpha, want[i].Alpha, 2e-5) {
+			t.Errorf("step %d: got %+v want %+v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestFinalExponents(t *testing.T) {
+	// (8+4/3)/5 = 28/15 rounds up to the paper's 1.867.
+	if got := FinalExponent(LambdaSemiring); !approx(got, 28.0/15.0, 1e-12) {
+		t.Errorf("semiring fixpoint = %v", got)
+	}
+	if math.Ceil(FinalExponent(LambdaSemiring)*1e3)/1e3 != 1.867 {
+		t.Error("semiring target is not 1.867")
+	}
+	// (8+1.156671)/5 = 1.8313342 rounds up to 1.832.
+	if math.Ceil(FinalExponent(LambdaField)*1e3)/1e3 != 1.832 {
+		t.Error("field target is not 1.832")
+	}
+	// Strassen variant lands strictly between the two.
+	fs := FinalExponent(LambdaStrassen)
+	if !(FinalExponent(LambdaField) < fs && fs < FinalExponent(LambdaSemiring)) {
+		t.Errorf("strassen fixpoint %v not between field and semiring", fs)
+	}
+}
+
+func TestScheduleConvergesAndMonotone(t *testing.T) {
+	for _, lambda := range []float64{LambdaSemiring, LambdaField, LambdaStrassen, 1.0, 1.3} {
+		steps := Schedule(lambda, 1e-5, 0)
+		if len(steps) == 0 || len(steps) > 50 {
+			t.Fatalf("λ=%v: %d steps", lambda, len(steps))
+		}
+		target := math.Ceil(FinalExponent(lambda)*1e3) / 1e3
+		for i, s := range steps {
+			if s.Alpha > target+1e-4 {
+				t.Errorf("λ=%v step %d: α=%v exceeds target %v", lambda, i, s.Alpha, target)
+			}
+			if i > 0 {
+				if s.Epsilon < steps[i-1].Epsilon {
+					t.Errorf("λ=%v: ε not monotone", lambda)
+				}
+				if s.Beta > steps[i-1].Beta {
+					t.Errorf("λ=%v: β not decreasing", lambda)
+				}
+				if !approx(s.Gamma, steps[i-1].Epsilon, 1e-9) {
+					t.Errorf("λ=%v: γ_t != ε_{t-1}", lambda)
+				}
+			}
+		}
+		last := steps[len(steps)-1]
+		// Converged to the target, or stalled exactly at the fixpoint (the
+		// λ=1.0 boundary case, where the target equals the fixpoint and the
+		// truncated ε can approach but never pass it).
+		if last.Beta > target+1e-4 {
+			t.Errorf("λ=%v: schedule did not converge (β=%v > %v)", lambda, last.Beta, target)
+		}
+	}
+}
+
+func TestMilestonesShape(t *testing.T) {
+	ms := Milestones()
+	if len(ms) < 4 {
+		t.Fatal("too few milestones")
+	}
+	// Strictly improving ladder for both columns until the conditional
+	// milestone.
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Semiring > ms[i-1].Semiring || ms[i].Field > ms[i-1].Field {
+			t.Errorf("milestone %q does not improve", ms[i].Label)
+		}
+	}
+	if ms[0].Semiring != 2 || ms[len(ms)-1].Field != 1.157 {
+		t.Error("endpoints wrong")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := Format(TableSemiring())
+	if len(out) == 0 || out[0] != 'S' {
+		t.Error("format output malformed")
+	}
+}

@@ -1,0 +1,29 @@
+package ring_test
+
+import (
+	"fmt"
+
+	"lbmm/internal/ring"
+)
+
+// ExampleDot shows semiring dot products: the same vectors give a sum of
+// products over Counting and a shortest path relaxation over MinPlus.
+func ExampleDot() {
+	a := []ring.Value{1, 2, 3}
+	b := []ring.Value{4, 5, 6}
+	fmt.Println(ring.Dot(ring.Counting{}, a, b))
+	fmt.Println(ring.Dot(ring.MinPlus{}, a, b))
+	// Output:
+	// 32
+	// 5
+}
+
+// ExampleNewGFp shows exact prime-field arithmetic.
+func ExampleNewGFp() {
+	f := ring.NewGFp(7)
+	fmt.Println(f.Mul(3, 5))
+	fmt.Println(f.Sub(2, 5))
+	// Output:
+	// 1
+	// 4
+}

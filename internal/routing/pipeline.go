@@ -1,0 +1,84 @@
+package routing
+
+import (
+	"lbmm/internal/lbm"
+)
+
+// PipelinedBroadcast builds a plan that streams k items held by a source
+// computer to every other computer: item t is injected into a binary tree
+// one round after item t−1, so the whole stream arrives everywhere in
+// k + O(log n) rounds instead of the k·log n of item-by-item tree
+// broadcasts. This is the workhorse of the unsupported mode's support
+// dissemination (every computer must learn Θ(nnz) structure words, and
+// k + log n rounds is optimal to within a constant for k items).
+//
+// Keys: the source holds items under keyOf(0..k-1); every receiver ends up
+// holding the same keys.
+//
+// The tree is laid over nodes in index order (node 0 = source); node i's
+// children are 2i+1 and 2i+2. In each round every node forwards the oldest
+// item its children still miss — since a node receives item t exactly
+// depth+t rounds in, it can forward item t to one child at depth+t+1 and
+// the other at depth+t+2... to keep one-send-per-round we interleave:
+// child c gets item t at round depth(c) + 2t + (c parity). The factor 2
+// (each parent serves 2 children) keeps the schedule within the model's
+// single send per round: total rounds ≤ 2k + depth.
+func PipelinedBroadcast(nodes []lbm.NodeID, k int, keyOf func(t int) lbm.Key) *lbm.Plan {
+	n := len(nodes)
+	plan := &lbm.Plan{}
+	if n <= 1 || k == 0 {
+		return plan
+	}
+	// arrive[i][t] = round at which node index i has item t available.
+	// Node 0 has everything at round 0. Child c of parent p receives items
+	// in order; the parent alternates between its (up to) two children, so
+	// child c receives item t at round recv(p, t') + 1 + 2t + offset where
+	// offset serializes the two children.
+	arrive := make([][]int, n)
+	arrive[0] = make([]int, k)
+	type send struct {
+		round    int
+		from, to int
+		item     int
+	}
+	var sends []send
+	maxRound := 0
+	for i := 1; i < n; i++ {
+		arrive[i] = make([]int, k)
+		parent := (i - 1) / 2
+		// Which child am I (0 or 1)?
+		childIdx := (i - 1) % 2
+		for t := 0; t < k; t++ {
+			// Earliest the parent can forward item t to this child: after
+			// the parent has it, after the child's previous item, and not
+			// in the same round as a send to the sibling. Serialize:
+			// parent's sending slots alternate children; child childIdx
+			// gets slots of parity childIdx.
+			earliest := arrive[parent][t] + 1
+			if t > 0 && arrive[i][t-1]+1 > earliest {
+				earliest = arrive[i][t-1] + 1
+			}
+			// Avoid colliding with the sibling: force distinct parity per
+			// child so the parent never sends twice in a round.
+			if (earliest+childIdx)%2 == 1 {
+				earliest++
+			}
+			arrive[i][t] = earliest
+			sends = append(sends, send{round: earliest, from: parent, to: i, item: t})
+			if earliest > maxRound {
+				maxRound = earliest
+			}
+		}
+	}
+	rounds := make([]lbm.Round, maxRound+1)
+	for _, s := range sends {
+		rounds[s.round] = append(rounds[s.round], lbm.Send{
+			From: nodes[s.from], To: nodes[s.to],
+			Src: keyOf(s.item), Dst: keyOf(s.item), Op: lbm.OpSet,
+		})
+	}
+	for _, r := range rounds {
+		plan.Append(r)
+	}
+	return plan
+}

@@ -1,0 +1,56 @@
+package routing
+
+import (
+	"fmt"
+
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+)
+
+// Redistribute moves the loaded input elements of A and B from one layout
+// to another — the paper's §2 remark made executable: "it does not matter
+// how the input and output is distributed among the computers — with an
+// additional O(d) time we can permute the input and output as appropriate."
+// The cost is one h-relation whose degree is the maximum per-computer
+// element count of the two layouts, i.e. O(d) rounds for d-per-computer
+// distributions.
+func Redistribute(m *lbm.Machine, from, to *lbm.Layout, ahat, bhat *matrix.Support) error {
+	if from.N != to.N {
+		return fmt.Errorf("routing: layout dimension mismatch %d vs %d", from.N, to.N)
+	}
+	var msgs []Msg
+	for i, row := range ahat.Rows {
+		for _, j := range row {
+			src := from.OwnerA(int32(i), j)
+			dst := to.OwnerA(int32(i), j)
+			msgs = append(msgs, Msg{From: src, To: dst, Src: lbm.AKey(int32(i), j), Dst: lbm.AKey(int32(i), j), Op: lbm.OpSet})
+		}
+	}
+	for j, row := range bhat.Rows {
+		for _, k := range row {
+			src := from.OwnerB(int32(j), k)
+			dst := to.OwnerB(int32(j), k)
+			msgs = append(msgs, Msg{From: src, To: dst, Src: lbm.BKey(int32(j), k), Dst: lbm.BKey(int32(j), k), Op: lbm.OpSet})
+		}
+	}
+	if err := m.Run(Schedule(msgs, Auto)); err != nil {
+		return fmt.Errorf("routing: redistribute: %w", err)
+	}
+	// Free cleanup: drop the copies at the old owners (only where the
+	// element actually moved).
+	for i, row := range ahat.Rows {
+		for _, j := range row {
+			if src := from.OwnerA(int32(i), j); src != to.OwnerA(int32(i), j) {
+				m.Del(src, lbm.AKey(int32(i), j))
+			}
+		}
+	}
+	for j, row := range bhat.Rows {
+		for _, k := range row {
+			if src := from.OwnerB(int32(j), k); src != to.OwnerB(int32(j), k) {
+				m.Del(src, lbm.BKey(int32(j), k))
+			}
+		}
+	}
+	return nil
+}

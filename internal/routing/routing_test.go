@@ -1,0 +1,476 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+)
+
+// properColoring checks that no two edges in a class share an endpoint and
+// that every edge is coloured exactly once.
+func properColoring(t *testing.T, edges []edge, classes [][]int32) {
+	t.Helper()
+	seen := make([]bool, len(edges))
+	for _, class := range classes {
+		l := map[int32]bool{}
+		r := map[int32]bool{}
+		for _, ei := range class {
+			if seen[ei] {
+				t.Fatalf("edge %d coloured twice", ei)
+			}
+			seen[ei] = true
+			e := edges[ei]
+			if l[e.l] || r[e.r] {
+				t.Fatalf("colour class reuses endpoint of edge %d", ei)
+			}
+			l[e.l] = true
+			r[e.r] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("edge %d not coloured", i)
+		}
+	}
+}
+
+func randomEdges(rng *rand.Rand, nl, nr, m int) []edge {
+	es := make([]edge, m)
+	for i := range es {
+		es[i] = edge{l: int32(rng.Intn(nl)), r: int32(rng.Intn(nr))}
+	}
+	return es
+}
+
+func TestEulerColorProperAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		nl, nr := 1+rng.Intn(20), 1+rng.Intn(20)
+		es := randomEdges(rng, nl, nr, rng.Intn(120))
+		classes := eulerColor(es, nl, nr)
+		properColoring(t, es, classes)
+		delta := maxDegree(es, nl, nr)
+		// 2^ceil(log2 delta) <= 2*delta - 1 for delta >= 1.
+		if delta > 0 && len(classes) >= 2*delta {
+			t.Fatalf("euler used %d colours for Δ=%d", len(classes), delta)
+		}
+	}
+}
+
+func TestKonigColorOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		nl, nr := 1+rng.Intn(15), 1+rng.Intn(15)
+		es := randomEdges(rng, nl, nr, rng.Intn(100))
+		classes := konigColor(es, nl, nr)
+		properColoring(t, es, classes)
+		delta := maxDegree(es, nl, nr)
+		if len(classes) != 0 && len(classes) > delta {
+			t.Fatalf("könig used %d colours for Δ=%d", len(classes), delta)
+		}
+	}
+}
+
+func TestColoringEmptyAndParallelEdges(t *testing.T) {
+	if got := eulerColor(nil, 3, 3); len(got) != 0 {
+		t.Error("empty euler")
+	}
+	if got := konigColor(nil, 3, 3); len(got) != 0 {
+		t.Error("empty könig")
+	}
+	// 5 parallel edges between the same pair need 5 colours.
+	es := []edge{{0, 0}, {0, 0}, {0, 0}, {0, 0}, {0, 0}}
+	if got := konigColor(es, 1, 1); len(got) != 5 {
+		t.Errorf("parallel edges könig: %d colours", len(got))
+	}
+	ec := eulerColor(es, 1, 1)
+	properColoring(t, es, ec)
+}
+
+func runSchedule(t *testing.T, msgs []Msg, strategy Strategy, n int) (*lbm.Machine, *lbm.Plan) {
+	t.Helper()
+	m := lbm.New(n, ring.Counting{})
+	for _, msg := range msgs {
+		m.Put(msg.From, msg.Src, ring.Value(1+int(msg.From)))
+	}
+	plan := Schedule(msgs, strategy)
+	if err := m.Run(plan); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	return m, plan
+}
+
+func TestScheduleDeliversEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, strategy := range []Strategy{Euler, Konig} {
+		for trial := 0; trial < 30; trial++ {
+			n := 4 + rng.Intn(20)
+			var msgs []Msg
+			for i := 0; i < rng.Intn(80); i++ {
+				from := lbm.NodeID(rng.Intn(n))
+				to := lbm.NodeID(rng.Intn(n))
+				msgs = append(msgs, Msg{
+					From: from, To: to,
+					Src: lbm.TKey(int32(from), int32(i), 0),
+					Dst: lbm.TKey(int32(from), int32(i), 1),
+					Op:  lbm.OpSet,
+				})
+			}
+			m := lbm.New(n, ring.Counting{})
+			for _, msg := range msgs {
+				m.Put(msg.From, msg.Src, ring.Value(int(msg.Src.J)+7))
+			}
+			plan := Schedule(msgs, strategy)
+			if err := m.Run(plan); err != nil {
+				t.Fatal(err)
+			}
+			for _, msg := range msgs {
+				v, ok := m.Get(msg.To, msg.Dst)
+				if !ok || v != ring.Value(int(msg.Src.J)+7) {
+					t.Fatalf("message %v not delivered (got %v,%v)", msg, v, ok)
+				}
+			}
+			// Round bound: König pays exactly max(S,R)+[has local]; Euler
+			// pays < 2*max(S,R) rounds (+1 for a local-only extra round).
+			s, r := MaxDegrees(msgs)
+			delta := s
+			if r > delta {
+				delta = r
+			}
+			if strategy == Konig && m.Rounds() > delta {
+				t.Fatalf("könig schedule used %d rounds for Δ=%d", m.Rounds(), delta)
+			}
+			if strategy == Euler && delta > 0 && m.Rounds() >= 2*delta {
+				t.Fatalf("euler schedule used %d rounds for Δ=%d", m.Rounds(), delta)
+			}
+		}
+	}
+}
+
+func TestScheduleLocalOnly(t *testing.T) {
+	msgs := []Msg{{From: 2, To: 2, Src: lbm.TKey(0, 0, 0), Dst: lbm.TKey(0, 0, 1), Op: lbm.OpSet}}
+	m := lbm.New(4, ring.Counting{})
+	m.Put(2, lbm.TKey(0, 0, 0), 9)
+	plan := Schedule(msgs, Euler)
+	if err := m.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds() != 0 {
+		t.Errorf("local-only schedule used %d rounds", m.Rounds())
+	}
+	if v, _ := m.Get(2, lbm.TKey(0, 0, 1)); v != 9 {
+		t.Error("local copy missing")
+	}
+}
+
+func TestMaxDegrees(t *testing.T) {
+	msgs := []Msg{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 2}, {From: 4, To: 4},
+	}
+	s, r := MaxDegrees(msgs)
+	if s != 2 || r != 2 {
+		t.Errorf("MaxDegrees = %d,%d", s, r)
+	}
+}
+
+func TestBroadcastPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 40
+		m := lbm.New(n, ring.Counting{})
+		// Three disjoint groups of random sizes.
+		perm := rng.Perm(n)
+		sizes := []int{1 + rng.Intn(12), 1 + rng.Intn(12), 1 + rng.Intn(12)}
+		var groups []Group
+		off := 0
+		for gi, sz := range sizes {
+			nodes := make([]lbm.NodeID, sz)
+			for i := range nodes {
+				nodes[i] = lbm.NodeID(perm[off+i])
+			}
+			off += sz
+			key := lbm.TKey(int32(gi), 0, 0)
+			m.Put(nodes[0], key, ring.Value(100+gi))
+			groups = append(groups, Group{Nodes: nodes, Key: key})
+		}
+		plan := BroadcastPlan(groups)
+		if err := m.Run(plan); err != nil {
+			t.Fatal(err)
+		}
+		maxSize := 0
+		for gi, g := range groups {
+			if len(g.Nodes) > maxSize {
+				maxSize = len(g.Nodes)
+			}
+			for _, node := range g.Nodes {
+				if v, ok := m.Get(node, g.Key); !ok || v != ring.Value(100+gi) {
+					t.Fatalf("group %d node %d missing broadcast value", gi, node)
+				}
+			}
+		}
+		if m.Rounds() > ceilLog2(maxSize) {
+			t.Fatalf("broadcast used %d rounds for max group %d", m.Rounds(), maxSize)
+		}
+	}
+}
+
+func TestConvergecastPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		n := 40
+		m := lbm.New(n, ring.Counting{})
+		perm := rng.Perm(n)
+		sizes := []int{1 + rng.Intn(12), 1 + rng.Intn(12)}
+		var groups []Group
+		want := make([]ring.Value, len(sizes))
+		off := 0
+		for gi, sz := range sizes {
+			nodes := make([]lbm.NodeID, sz)
+			key := lbm.TKey(int32(gi), 1, 0)
+			for i := range nodes {
+				nodes[i] = lbm.NodeID(perm[off+i])
+				v := ring.Value(rng.Intn(50))
+				m.Put(nodes[i], key, v)
+				want[gi] += v
+			}
+			off += sz
+			groups = append(groups, Group{Nodes: nodes, Key: key})
+		}
+		plan := ConvergecastPlan(groups)
+		if err := m.Run(plan); err != nil {
+			t.Fatal(err)
+		}
+		maxSize := 0
+		for gi, g := range groups {
+			if len(g.Nodes) > maxSize {
+				maxSize = len(g.Nodes)
+			}
+			if v, _ := m.Get(g.Nodes[0], g.Key); v != want[gi] {
+				t.Fatalf("group %d sum = %v, want %v", gi, v, want[gi])
+			}
+		}
+		if m.Rounds() > ceilLog2(maxSize) {
+			t.Fatalf("convergecast used %d rounds for max group %d", m.Rounds(), maxSize)
+		}
+	}
+}
+
+func TestConvergecastTropical(t *testing.T) {
+	// Reduction over MinPlus computes the minimum.
+	m := lbm.New(8, ring.MinPlus{})
+	key := lbm.TKey(0, 0, 0)
+	vals := []ring.Value{9, 3, 7, 5, 11, 2, 8, 6}
+	nodes := make([]lbm.NodeID, 8)
+	for i := range nodes {
+		nodes[i] = lbm.NodeID(i)
+		m.Put(nodes[i], key, vals[i])
+	}
+	if err := m.Run(ConvergecastPlan([]Group{{Nodes: nodes, Key: key}})); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Get(0, key); v != 2 {
+		t.Errorf("tropical convergecast = %v, want 2", v)
+	}
+}
+
+func ceilLog2(n int) int {
+	r := 0
+	for (1 << r) < n {
+		r++
+	}
+	return r
+}
+
+// TestStrategyAblation compares the two colouring backends on random
+// h-relations: König is exact (Δ rounds), Euler pays at most the
+// next power of two, and Auto never does worse than Euler.
+func TestStrategyAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(24)
+		var msgs []Msg
+		for i := 0; i < 20+rng.Intn(200); i++ {
+			from := lbm.NodeID(rng.Intn(n))
+			to := lbm.NodeID(rng.Intn(n))
+			if from == to {
+				continue
+			}
+			msgs = append(msgs, Msg{From: from, To: to,
+				Src: lbm.TKey(int32(i), 0, 0), Dst: lbm.TKey(int32(i), 1, 0)})
+		}
+		s, r := MaxDegrees(msgs)
+		delta := s
+		if r > delta {
+			delta = r
+		}
+		konig := Schedule(msgs, Konig).NumRounds()
+		euler := Schedule(msgs, Euler).NumRounds()
+		auto := Schedule(msgs, Auto).NumRounds()
+		if konig != delta && delta > 0 {
+			t.Fatalf("könig %d != Δ %d", konig, delta)
+		}
+		if euler < delta || (delta > 0 && euler >= 2*delta) {
+			t.Fatalf("euler %d outside [Δ, 2Δ) for Δ=%d", euler, delta)
+		}
+		if auto > euler {
+			t.Fatalf("auto %d worse than euler %d", auto, euler)
+		}
+	}
+}
+
+func TestSortOddEven(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	key := lbm.TKey(5, 5, 5)
+	for trial := 0; trial < 30; trial++ {
+		n := 32
+		p := 1 + rng.Intn(20)
+		m := lbm.New(n, ring.MinPlus{})
+		perm := rng.Perm(n)
+		nodes := make([]lbm.NodeID, p)
+		vals := make([]ring.Value, p)
+		for i := range nodes {
+			nodes[i] = lbm.NodeID(perm[i])
+			vals[i] = ring.Value(rng.Intn(40))
+			m.Put(nodes[i], key, vals[i])
+		}
+		if err := SortOddEven(m, nodes, key); err != nil {
+			t.Fatal(err)
+		}
+		var prev ring.Value = -1
+		for i, node := range nodes {
+			v, ok := m.Get(node, key)
+			if !ok {
+				t.Fatalf("node %d lost its value", node)
+			}
+			if v < prev {
+				t.Fatalf("not sorted at position %d: %v < %v", i, v, prev)
+			}
+			prev = v
+			// No scratch leftovers.
+			if _, leak := m.Get(node, sortScratch(key)); leak {
+				t.Fatal("scratch leaked")
+			}
+		}
+		// Multiset preserved.
+		var got []float64
+		for _, node := range nodes {
+			v, _ := m.Get(node, key)
+			got = append(got, v)
+		}
+		want := append([]float64(nil), vals...)
+		sortFloats(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("multiset changed: %v vs %v", got, want)
+			}
+		}
+		if p > 1 && m.Rounds() > p {
+			t.Fatalf("sort of %d values took %d rounds", p, m.Rounds())
+		}
+	}
+	// Duplicate nodes rejected.
+	m := lbm.New(4, ring.Counting{})
+	m.Put(0, key, 1)
+	if err := SortOddEven(m, []lbm.NodeID{0, 0}, key); err == nil {
+		t.Error("duplicate nodes accepted")
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestRedistribute(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	n := 24
+	entries := func(nnz int) [][2]int {
+		var es [][2]int
+		for len(es) < nnz {
+			es = append(es, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		return es
+	}
+	ahat := matrix.NewSupport(n, entries(3*n))
+	bhat := matrix.NewSupport(n, entries(3*n))
+	xhat := matrix.NewSupport(n, entries(n))
+	a := matrix.Random(ahat, ring.Counting{}, 1)
+	b := matrix.Random(bhat, ring.Counting{}, 2)
+
+	m := lbm.New(n, ring.Counting{})
+	rowL := lbm.RowLayout(ahat, bhat, xhat)
+	balL := lbm.BalancedLayout(ahat, bhat, xhat)
+	lbm.LoadInputs(m, rowL, a, b)
+	if err := Redistribute(m, rowL, balL, ahat, bhat); err != nil {
+		t.Fatal(err)
+	}
+	// Every element is now at its balanced owner (and only there if moved).
+	for i, row := range ahat.Rows {
+		for _, j := range row {
+			v, ok := m.Get(balL.OwnerA(int32(i), j), lbm.AKey(int32(i), j))
+			if !ok || v != a.Get(i, int(j)) {
+				t.Fatalf("A(%d,%d) not at balanced owner", i, j)
+			}
+			if src := rowL.OwnerA(int32(i), j); src != balL.OwnerA(int32(i), j) {
+				if _, stale := m.Get(src, lbm.AKey(int32(i), j)); stale {
+					t.Fatalf("A(%d,%d) left behind at old owner", i, j)
+				}
+			}
+		}
+	}
+	// Cost is O(max per-node elements): generous constant.
+	ra, rb, _ := rowL.MaxPerNode()
+	if m.Rounds() > 4*(ra+rb)+8 {
+		t.Errorf("redistribute took %d rounds for loads %d/%d", m.Rounds(), ra, rb)
+	}
+	// Dimension mismatch rejected.
+	other := lbm.RowLayout(matrix.NewSupport(4, nil), matrix.NewSupport(4, nil), matrix.NewSupport(4, nil))
+	if err := Redistribute(m, rowL, other, ahat, bhat); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestPipelinedBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(30)
+		k := 1 + rng.Intn(60)
+		nodes := make([]lbm.NodeID, n)
+		for i := range nodes {
+			nodes[i] = lbm.NodeID(i)
+		}
+		m := lbm.New(n, ring.Counting{})
+		keyOf := func(t int) lbm.Key { return lbm.TKey(int32(t), 77, 0) }
+		for t := 0; t < k; t++ {
+			m.Put(0, keyOf(t), ring.Value(1000+t))
+		}
+		plan := PipelinedBroadcast(nodes, k, keyOf)
+		if err := m.Run(plan); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for tt := 0; tt < k; tt++ {
+				v, ok := m.Get(lbm.NodeID(i), keyOf(tt))
+				if !ok || v != ring.Value(1000+tt) {
+					t.Fatalf("n=%d k=%d: node %d missing item %d", n, k, i, tt)
+				}
+			}
+		}
+		// Pipelining bound: ≤ 2k + 2·⌈log₂ n⌉ + 4, far below the k·log n of
+		// item-by-item broadcasts for large k.
+		bound := 2*k + 2*ceilLog2(n) + 4
+		if m.Rounds() > bound {
+			t.Errorf("n=%d k=%d: %d rounds > pipeline bound %d", n, k, m.Rounds(), bound)
+		}
+	}
+	// Degenerate cases cost nothing.
+	if PipelinedBroadcast([]lbm.NodeID{3}, 5, func(int) lbm.Key { return lbm.TKey(0, 0, 0) }).NumRounds() != 0 {
+		t.Error("single node broadcast should be free")
+	}
+}

@@ -1,0 +1,198 @@
+package routing
+
+import (
+	"lbmm/internal/lbm"
+)
+
+// Msg is one pending message of an h-relation.
+type Msg struct {
+	From, To lbm.NodeID
+	Src, Dst lbm.Key
+	Op       lbm.Op
+}
+
+// Strategy selects the edge-colouring backend used to schedule h-relations.
+type Strategy uint8
+
+const (
+	// Euler uses recursive Euler splitting: at most 2^⌈log₂ Δ⌉ < 2Δ rounds
+	// in O(E log Δ) time. The default.
+	Euler Strategy = iota
+	// Konig uses exact Δ-round schedules in O(E·(V+Δ)) time; right for
+	// small instances and for measuring the model's exact constants.
+	Konig
+	// Auto picks König when its O(E·Δ) cost is affordable and Euler
+	// otherwise. Exact schedules avoid the ≤2^⌈log₂Δ⌉ rounding of the
+	// Euler split, which otherwise staircases measured round counts.
+	Auto
+)
+
+// autoKonigBudget caps the König work E·Δ (colour scans) Auto will accept.
+const autoKonigBudget = 1 << 27
+
+// Schedule arranges an arbitrary set of messages into rounds that respect
+// the one-send/one-receive constraint, using bipartite edge colouring on the
+// sender/receiver multigraph. The number of rounds is O(S + R) where S and R
+// are the maximum per-node send and receive multiplicities — the h-relation
+// bound used throughout the paper's §3.3.
+//
+// Self-messages (From == To) are free local copies; they are all placed in
+// the first round.
+func Schedule(msgs []Msg, strategy Strategy) *lbm.Plan {
+	var local []Msg
+	var remote []Msg
+	for _, m := range msgs {
+		if m.From == m.To {
+			local = append(local, m)
+		} else {
+			remote = append(remote, m)
+		}
+	}
+
+	// Compact the node ids appearing as senders/receivers so colouring
+	// works on dense indices.
+	lIdx := map[lbm.NodeID]int32{}
+	rIdx := map[lbm.NodeID]int32{}
+	edges := make([]edge, len(remote))
+	for i, m := range remote {
+		l, ok := lIdx[m.From]
+		if !ok {
+			l = int32(len(lIdx))
+			lIdx[m.From] = l
+		}
+		r, ok := rIdx[m.To]
+		if !ok {
+			r = int32(len(rIdx))
+			rIdx[m.To] = r
+		}
+		edges[i] = edge{l: l, r: r}
+	}
+
+	if strategy == Auto {
+		delta := maxDegree(edges, len(lIdx), len(rIdx))
+		if delta > 0 && len(edges)*delta <= autoKonigBudget {
+			strategy = Konig
+		} else {
+			strategy = Euler
+		}
+	}
+	var classes [][]int32
+	if strategy == Konig {
+		classes = konigColor(edges, len(lIdx), len(rIdx))
+	} else {
+		classes = eulerColor(edges, len(lIdx), len(rIdx))
+	}
+
+	plan := &lbm.Plan{}
+	for ci, class := range classes {
+		round := make(lbm.Round, 0, len(class)+len(local))
+		if ci == 0 {
+			for _, m := range local {
+				round = append(round, lbm.Send{From: m.From, To: m.To, Src: m.Src, Dst: m.Dst, Op: m.Op})
+			}
+		}
+		for _, ei := range class {
+			m := remote[ei]
+			round = append(round, lbm.Send{From: m.From, To: m.To, Src: m.Src, Dst: m.Dst, Op: m.Op})
+		}
+		plan.Append(round)
+	}
+	if len(classes) == 0 && len(local) > 0 {
+		round := make(lbm.Round, 0, len(local))
+		for _, m := range local {
+			round = append(round, lbm.Send{From: m.From, To: m.To, Src: m.Src, Dst: m.Dst, Op: m.Op})
+		}
+		plan.Append(round)
+	}
+	return plan
+}
+
+// MaxDegrees returns the maximum per-node send and receive multiplicities of
+// a message set — the lower bound any schedule of it must pay.
+func MaxDegrees(msgs []Msg) (maxSend, maxRecv int) {
+	s := map[lbm.NodeID]int{}
+	r := map[lbm.NodeID]int{}
+	for _, m := range msgs {
+		if m.From == m.To {
+			continue
+		}
+		s[m.From]++
+		r[m.To]++
+		if s[m.From] > maxSend {
+			maxSend = s[m.From]
+		}
+		if r[m.To] > maxRecv {
+			maxRecv = r[m.To]
+		}
+	}
+	return maxSend, maxRecv
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast and convergecast trees (§3.3's spread and aggregation steps)
+
+// Group is an ordered set of distinct computers cooperating in a broadcast
+// or convergecast. Groups passed to the plan builders must be pairwise
+// disjoint; they execute in parallel.
+type Group struct {
+	Nodes []lbm.NodeID
+	// Key is the store key the broadcast value lives under (same key at
+	// every node), or the per-node partial-sum key for convergecast.
+	Key lbm.Key
+}
+
+// BroadcastPlan builds a plan in which, for every group, the value held by
+// Nodes[0] under Key is spread to all other members by binary doubling:
+// round t doubles the informed prefix, so ⌈log₂ |group|⌉ rounds suffice —
+// the O(log m) term of Lemma 3.1.
+func BroadcastPlan(groups []Group) *lbm.Plan {
+	plan := &lbm.Plan{}
+	for t := 0; ; t++ {
+		stride := 1 << t
+		var round lbm.Round
+		for _, g := range groups {
+			for idx := 0; idx < stride && idx < len(g.Nodes); idx++ {
+				dst := idx + stride
+				if dst >= len(g.Nodes) {
+					continue
+				}
+				round = append(round, lbm.Send{
+					From: g.Nodes[idx], To: g.Nodes[dst],
+					Src: g.Key, Dst: g.Key, Op: lbm.OpSet,
+				})
+			}
+		}
+		if len(round) == 0 {
+			break
+		}
+		plan.Append(round)
+	}
+	return plan
+}
+
+// ConvergecastPlan builds a plan in which, for every group, the partial
+// values held under Key by all members are summed (ring addition) into
+// Nodes[0] by a binary reduction tree in ⌈log₂ |group|⌉ rounds. Every member
+// must hold Key before the plan runs.
+func ConvergecastPlan(groups []Group) *lbm.Plan {
+	plan := &lbm.Plan{}
+	maxLen := 0
+	for _, g := range groups {
+		if len(g.Nodes) > maxLen {
+			maxLen = len(g.Nodes)
+		}
+	}
+	for stride := 1; stride < maxLen; stride <<= 1 {
+		var round lbm.Round
+		for _, g := range groups {
+			for idx := stride; idx < len(g.Nodes); idx += 2 * stride {
+				round = append(round, lbm.Send{
+					From: g.Nodes[idx], To: g.Nodes[idx-stride],
+					Src: g.Key, Dst: g.Key, Op: lbm.OpAcc,
+				})
+			}
+		}
+		plan.Append(round)
+	}
+	return plan
+}

@@ -1,0 +1,76 @@
+package routing
+
+import (
+	"fmt"
+
+	"lbmm/internal/lbm"
+)
+
+// This file provides in-model sorting. The paper's §3.3 sorts its triple
+// arrays during free preprocessing — legitimate because the supported model
+// fixes the sparsity structure in advance. The unsupported direction the
+// paper poses as future work (§1.6) would have to sort at run time; this
+// odd–even transposition sort is that primitive: p computers, each holding
+// one value, sort them in exactly p rounds of neighbour exchanges, each
+// round one send and one receive per computer.
+
+// sortScratch is the reserved scratch slot for the neighbour's value.
+func sortScratch(key lbm.Key) lbm.Key {
+	return lbm.Key{Kind: lbm.KT, I: -1 - key.I, J: -1 - key.J, Seq: -9991 - key.Seq}
+}
+
+// SortOddEven sorts, in the low-bandwidth model, the values held by the
+// given computers under key: after the call, nodes[i] holds the i-th
+// smallest value (by the natural order of ring.Value). The nodes must be
+// pairwise distinct and each must hold key. Costs exactly len(nodes) rounds
+// (⌈p/2⌉ exchanges of 2 messages each, alternating parity).
+func SortOddEven(m *lbm.Machine, nodes []lbm.NodeID, key lbm.Key) error {
+	p := len(nodes)
+	if p <= 1 {
+		return nil
+	}
+	seen := make(map[lbm.NodeID]bool, p)
+	for _, v := range nodes {
+		if seen[v] {
+			return fmt.Errorf("routing: SortOddEven nodes must be distinct (%d repeats)", v)
+		}
+		seen[v] = true
+	}
+	scratch := sortScratch(key)
+	for phase := 0; phase < p; phase++ {
+		var round lbm.Round
+		type pair struct{ lo, hi lbm.NodeID }
+		var pairs []pair
+		for i := phase % 2; i+1 < p; i += 2 {
+			lo, hi := nodes[i], nodes[i+1]
+			pairs = append(pairs, pair{lo, hi})
+			round = append(round,
+				lbm.Send{From: lo, To: hi, Src: key, Dst: scratch, Op: lbm.OpSet},
+				lbm.Send{From: hi, To: lo, Src: key, Dst: scratch, Op: lbm.OpSet},
+			)
+		}
+		if len(round) == 0 {
+			continue
+		}
+		if err := m.RunRound(round); err != nil {
+			return fmt.Errorf("routing: sort phase %d: %w", phase, err)
+		}
+		// Free local compare-exchange: the lower-index node keeps the min,
+		// the higher keeps the max.
+		for _, pr := range pairs {
+			mine, _ := m.Get(pr.lo, key)
+			other, _ := m.Get(pr.lo, scratch)
+			if other < mine {
+				m.Put(pr.lo, key, other)
+			}
+			mineHi, _ := m.Get(pr.hi, key)
+			otherHi, _ := m.Get(pr.hi, scratch)
+			if otherHi > mineHi {
+				m.Put(pr.hi, key, otherHi)
+			}
+			m.Del(pr.lo, scratch)
+			m.Del(pr.hi, scratch)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package triangle_test
+
+import (
+	"fmt"
+
+	"lbmm/internal/core"
+	"lbmm/internal/triangle"
+)
+
+// ExampleCount counts triangles in K4 with the distributed pipeline.
+func ExampleCount() {
+	g := triangle.NewGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	res, err := triangle.Count(g, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("triangles:", res.Triangles)
+	// Output:
+	// triangles: 4
+}
+
+// ExampleDetect answers the existence question over the Boolean semiring.
+func ExampleDetect() {
+	c5 := triangle.NewGraph(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	found, _, err := triangle.Detect(c5, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("C5 has a triangle:", found)
+	// Output:
+	// C5 has a triangle: false
+}

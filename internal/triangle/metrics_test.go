@@ -1,0 +1,197 @@
+package triangle
+
+import (
+	"math"
+	"testing"
+
+	"lbmm/internal/core"
+)
+
+func TestCommonNeighborsKnown(t *testing.T) {
+	// Diamond: 0-1, 0-2, 1-2, 1-3, 2-3. Edge (1,2) has common {0,3}.
+	g := NewGraph(4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}})
+	cn, rep, err := CommonNeighbors(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	want := map[[2]int]int64{
+		{0, 1}: 1, {0, 2}: 1, {1, 2}: 2, {1, 3}: 1, {2, 3}: 1,
+	}
+	for e, w := range want {
+		if cn[e] != w {
+			t.Errorf("codeg%v = %d, want %d", e, cn[e], w)
+		}
+	}
+}
+
+func TestClusteringCoefficients(t *testing.T) {
+	// K4: every vertex has coefficient 1.
+	k4 := NewGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	cc, _, err := ClusteringCoefficients(k4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range cc {
+		if math.Abs(c-1) > 1e-12 {
+			t.Errorf("K4 vertex %d coefficient %v", v, c)
+		}
+	}
+	// Path 0-1-2: middle vertex has coefficient 0.
+	path := NewGraph(3, [][2]int{{0, 1}, {1, 2}})
+	cc, _, err = ClusteringCoefficients(path, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc[1] != 0 {
+		t.Errorf("path middle coefficient %v", cc[1])
+	}
+}
+
+func TestCountFourCyclesKnown(t *testing.T) {
+	// C4 itself: exactly one 4-cycle.
+	c4 := NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	got, _, err := CountFourCycles(c4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("C4 count = %d", got)
+	}
+	// K4 has three 4-cycles.
+	k4 := NewGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	got, _, err = CountFourCycles(k4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("K4 4-cycles = %d, want 3", got)
+	}
+	// Triangle has none.
+	k3 := NewGraph(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	got, _, err = CountFourCycles(k3, core.Options{})
+	if err != nil || got != 0 {
+		t.Errorf("K3 4-cycles = %d, %v", got, err)
+	}
+}
+
+func TestCountFourCyclesRandomMatchesLocal(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		g := RandomBoundedDegree(30, 4, seed)
+		got, _, err := CountFourCycles(g, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := CountFourCyclesLocal(g); got != want {
+			t.Fatalf("seed %d: distributed %d != local %d", seed, got, want)
+		}
+	}
+}
+
+func TestCountPaths2CustomMask(t *testing.T) {
+	// Star 0-{1,2,3}: pairs of leaves have exactly one 2-path via 0.
+	g := NewGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	p2, _, err := CountPaths2(g, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{1, 2}, {1, 3}, {2, 3}} {
+		if p2.Get(pair[0], pair[1]) != 1 {
+			t.Errorf("p2%v = %v", pair, p2.Get(pair[0], pair[1]))
+		}
+	}
+	if p2.Get(1, 1) != 0 {
+		t.Error("diagonal must be excluded")
+	}
+}
+
+func TestPageRankMatchesLocal(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		g := RandomBoundedDegree(40, 4, seed)
+		dist, total, perIter, err := PageRank(g, 0.85, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := PageRankLocal(g, 0.85, 8)
+		if e := MaxRankError(dist, local); e > 1e-9 {
+			t.Fatalf("seed %d: rank error %v", seed, e)
+		}
+		if total != 8*perIter {
+			t.Errorf("rounds not identical per iteration: %d vs 8×%d", total, perIter)
+		}
+		// Mass conservation up to dangling leakage: sum ≤ 1 + ε.
+		sum := 0.0
+		for _, v := range dist {
+			sum += v
+		}
+		if sum > 1+1e-9 {
+			t.Errorf("rank mass %v > 1", sum)
+		}
+	}
+	if _, _, _, err := PageRank(RandomBoundedDegree(10, 2, 1), 0.85, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestGeneratedGraphFamilies(t *testing.T) {
+	// Preferential attachment: heavy-tailed — max degree well above the
+	// mean; distributed triangle count still exact.
+	ba := PreferentialAttachment(120, 3, 5)
+	if ba.NumEdges() == 0 {
+		t.Fatal("BA graph empty")
+	}
+	mean := 2 * ba.NumEdges() / ba.N
+	if ba.MaxDegree() < 2*mean {
+		t.Errorf("BA max degree %d not heavy-tailed (mean %d)", ba.MaxDegree(), mean)
+	}
+	res, err := Count(ba, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != CountLocal(ba) {
+		t.Fatalf("BA count %d != %d", res.Triangles, CountLocal(ba))
+	}
+
+	// Small world: bounded degree, high clustering at beta=0.
+	sw := SmallWorld(60, 4, 0, 7)
+	if sw.MaxDegree() > 6 {
+		t.Errorf("SW degree %d too high", sw.MaxDegree())
+	}
+	if CountLocal(sw) == 0 {
+		t.Error("ring lattice with k=4 must have triangles")
+	}
+	res, err = Count(sw, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != CountLocal(sw) {
+		t.Fatalf("SW count %d != %d", res.Triangles, CountLocal(sw))
+	}
+	// Rewired variant still counts correctly.
+	swr := SmallWorld(60, 4, 0.3, 7)
+	res, err = Count(swr, core.Options{})
+	if err != nil || res.Triangles != CountLocal(swr) {
+		t.Fatalf("rewired SW mismatch: %v", err)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := PreferentialAttachment(80, 3, 9)
+	b := PreferentialAttachment(80, 3, 9)
+	if a.NumEdges() != b.NumEdges() || CountLocal(a) != CountLocal(b) {
+		t.Error("PreferentialAttachment not deterministic")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("edge lists differ")
+		}
+	}
+	s1 := SmallWorld(50, 4, 0.2, 3)
+	s2 := SmallWorld(50, 4, 0.2, 3)
+	if s1.NumEdges() != s2.NumEdges() || CountLocal(s1) != CountLocal(s2) {
+		t.Error("SmallWorld not deterministic")
+	}
+}

@@ -1,0 +1,86 @@
+package triangle
+
+import (
+	"testing"
+
+	"lbmm/internal/core"
+)
+
+func TestNewGraphDedupAndLoops(t *testing.T) {
+	g := NewGraph(4, [][2]int{{0, 1}, {1, 0}, {2, 2}, {1, 2}, {0, 1}, {-1, 3}, {3, 9}})
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("max degree = %d", g.MaxDegree())
+	}
+	if len(g.Edges()) != 2 {
+		t.Errorf("Edges() = %v", g.Edges())
+	}
+}
+
+func TestCountLocalKnownGraphs(t *testing.T) {
+	// K4 has 4 triangles.
+	k4 := NewGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if got := CountLocal(k4); got != 4 {
+		t.Errorf("K4 triangles = %d", got)
+	}
+	// C5 has none.
+	c5 := NewGraph(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	if got := CountLocal(c5); got != 0 {
+		t.Errorf("C5 triangles = %d", got)
+	}
+	// Two disjoint triangles.
+	two := NewGraph(6, [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	if got := CountLocal(two); got != 2 {
+		t.Errorf("2K3 triangles = %d", got)
+	}
+}
+
+func TestDistributedCountMatchesLocal(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := RandomBoundedDegree(40, 5, seed)
+		res, err := Count(g, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := CountLocal(g); res.Triangles != want {
+			t.Fatalf("seed %d: distributed count %d != local %d", seed, res.Triangles, want)
+		}
+		if res.Report == nil || res.Report.Rounds < 0 {
+			t.Error("missing report")
+		}
+	}
+}
+
+func TestDetect(t *testing.T) {
+	k3 := NewGraph(8, [][2]int{{0, 1}, {1, 2}, {2, 0}, {4, 5}})
+	found, rep, err := Detect(k3, core.Options{})
+	if err != nil || !found {
+		t.Fatalf("Detect(K3+) = %v, %v", found, err)
+	}
+	if rep == nil {
+		t.Error("missing report")
+	}
+	c4 := NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	found, _, err = Detect(c4, core.Options{})
+	if err != nil || found {
+		t.Fatalf("Detect(C4) = %v, %v", found, err)
+	}
+}
+
+func TestCountRejectsWrongRing(t *testing.T) {
+	g := RandomBoundedDegree(10, 3, 1)
+	if _, err := Count(g, core.Options{Ring: nil}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBoundedDegreeRespectsBound(t *testing.T) {
+	for _, d := range []int{1, 3, 6} {
+		g := RandomBoundedDegree(50, d, 7)
+		if g.MaxDegree() > d {
+			t.Errorf("degree %d exceeds bound %d", g.MaxDegree(), d)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package vnet
+
+import (
+	"lbmm/internal/lbm"
+	"lbmm/internal/routing"
+)
+
+// ScheduleVirtual arranges an arbitrary multiset of virtual messages into
+// virtual rounds respecting the per-virtual-node one-send/one-receive
+// constraint, by bipartite edge colouring over virtual node ids. The result
+// still has to be compiled (which schedules the residual host contention of
+// co-hosted virtual nodes).
+func ScheduleVirtual(msgs []Send, strategy routing.Strategy) *Plan {
+	rmsgs := make([]routing.Msg, len(msgs))
+	for i, m := range msgs {
+		rmsgs[i] = routing.Msg{
+			From: lbm.NodeID(m.From), To: lbm.NodeID(m.To),
+			Src: m.Src, Dst: m.Dst, Op: m.Op,
+		}
+	}
+	lowered := routing.Schedule(rmsgs, strategy)
+	out := &Plan{}
+	for _, r := range lowered.Rounds {
+		vr := make(Round, len(r))
+		for i, s := range r {
+			vr[i] = Send{From: int32(s.From), To: int32(s.To), Src: s.Src, Dst: s.Dst, Op: s.Op}
+		}
+		out.Append(vr)
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package vnet provides the virtual-computer abstraction the paper's
+// algorithms rely on: a set of V virtual nodes is assigned to the n real
+// computers with bounded multiplicity c, and a communication plan written
+// against virtual nodes is compiled into a real low-bandwidth plan. Because
+// each virtual node sends and receives at most one message per virtual
+// round, the induced real h-relation has degree at most c, so each virtual
+// round costs O(c) real rounds (§3.2: "we can simulate their work in the
+// real computer network with constant overhead").
+//
+// Two users: the tripartite role-nodes (every computer simulates its I, J
+// and K role, c = 3), and the balanced virtual instance of Lemma 3.1
+// (c ≤ 4).
+package vnet
+
+import (
+	"fmt"
+
+	"lbmm/internal/lbm"
+	"lbmm/internal/ring"
+	"lbmm/internal/routing"
+)
+
+// Net assigns virtual nodes to hosts.
+type Net struct {
+	// Host[v] is the real computer simulating virtual node v.
+	Host []lbm.NodeID
+	// MaxLoad is the maximum number of virtual nodes on one host.
+	MaxLoad int
+}
+
+// New builds a net from an explicit host assignment.
+func New(host []lbm.NodeID) *Net {
+	load := map[lbm.NodeID]int{}
+	mx := 0
+	for _, h := range host {
+		load[h]++
+		if load[h] > mx {
+			mx = load[h]
+		}
+	}
+	return &Net{Host: append([]lbm.NodeID(nil), host...), MaxLoad: mx}
+}
+
+// Roles returns the canonical 3n-node net for the tripartite view: virtual
+// node v < n is the I-role of computer v, v in [n, 2n) the J-role of
+// computer v-n, and v in [2n, 3n) the K-role of computer v-2n.
+func Roles(n int) *Net {
+	host := make([]lbm.NodeID, 3*n)
+	for v := range host {
+		host[v] = lbm.NodeID(v % n)
+	}
+	return &Net{Host: host, MaxLoad: 3}
+}
+
+// V returns the number of virtual nodes.
+func (nt *Net) V() int { return len(nt.Host) }
+
+// Send is one planned virtual message.
+type Send struct {
+	From, To int32
+	Src, Dst lbm.Key
+	Op       lbm.Op
+}
+
+// Round is the set of virtual messages of one virtual round; each virtual
+// node may send at most one and receive at most one.
+type Round []Send
+
+// Plan is a sequence of virtual rounds.
+type Plan struct {
+	Rounds []Round
+}
+
+// Append adds a non-empty round.
+func (p *Plan) Append(r Round) {
+	if len(r) > 0 {
+		p.Rounds = append(p.Rounds, r)
+	}
+}
+
+// Extend appends all rounds of q.
+func (p *Plan) Extend(q *Plan) { p.Rounds = append(p.Rounds, q.Rounds...) }
+
+// Compile lowers a virtual plan to a real plan. Every virtual round is
+// checked (each virtual node sends ≤ 1 and receives ≤ 1), mapped to host
+// messages, and scheduled as an h-relation of degree ≤ MaxLoad via edge
+// colouring.
+//
+// A virtual round executes against its round-start state, but its compiled
+// form spans several machine rounds, so a message whose source slot is also
+// written by the same virtual round would read a torn value. Compile keeps
+// the exact semantics by snapshotting every such source into a reserved
+// staging key (a free local copy executed before the round's deliveries)
+// and sending from the snapshot. Staging keys are overwritten round to
+// round; call CleanupStaging after running the plan to drop the leftovers.
+func (nt *Net) Compile(p *Plan, strategy routing.Strategy) (*lbm.Plan, error) {
+	out := &lbm.Plan{}
+	sentAt := make([]int, nt.V())
+	recvAt := make([]int, nt.V())
+	for i := range sentAt {
+		sentAt[i] = -1
+		recvAt[i] = -1
+	}
+	for t, vr := range p.Rounds {
+		msgs := make([]routing.Msg, 0, len(vr))
+		written := make(map[hostKey]struct{}, len(vr))
+		for _, s := range vr {
+			if s.From < 0 || int(s.From) >= nt.V() || s.To < 0 || int(s.To) >= nt.V() {
+				return nil, fmt.Errorf("vnet: round %d: vnode out of range in %v->%v", t, s.From, s.To)
+			}
+			if s.From != s.To {
+				// Virtual self-sends are free local copies and exempt.
+				if sentAt[s.From] == t {
+					return nil, fmt.Errorf("vnet: round %d: vnode %d sends twice", t, s.From)
+				}
+				if recvAt[s.To] == t {
+					return nil, fmt.Errorf("vnet: round %d: vnode %d receives twice", t, s.To)
+				}
+				sentAt[s.From] = t
+				recvAt[s.To] = t
+			}
+			written[hostKey{nt.Host[s.To], s.Dst}] = struct{}{}
+			msgs = append(msgs, routing.Msg{
+				From: nt.Host[s.From], To: nt.Host[s.To],
+				Src: s.Src, Dst: s.Dst, Op: s.Op,
+			})
+		}
+		// Snapshot conflicted sources. Distinct staging slots per (host,
+		// key) pair of this round; messages sharing a source share the
+		// snapshot.
+		var staging lbm.Round
+		slot := map[hostKey]lbm.Key{}
+		for i := range msgs {
+			src := hostKey{msgs[i].From, msgs[i].Src}
+			if _, clash := written[src]; !clash {
+				continue
+			}
+			sk, ok := slot[src]
+			if !ok {
+				sk = lbm.Key{Kind: lbm.KStage, I: int32(len(slot)), J: 0, Seq: 0}
+				slot[src] = sk
+				staging = append(staging, lbm.Send{
+					From: msgs[i].From, To: msgs[i].From,
+					Src: msgs[i].Src, Dst: sk, Op: lbm.OpSet,
+				})
+			}
+			msgs[i].Src = sk
+		}
+		if len(staging) > 0 {
+			out.Append(staging)
+		}
+		out.Extend(routing.Schedule(msgs, strategy))
+	}
+	return out, nil
+}
+
+// CleanupStaging deletes all staging snapshots left behind by compiled
+// plans (a free local sweep).
+func CleanupStaging(m *lbm.Machine) {
+	m.LocalAll(func(_ lbm.NodeID, v *lbm.LocalView) {
+		var keys []lbm.Key
+		v.Each(func(k lbm.Key, _ ring.Value) {
+			if k.Kind == lbm.KStage {
+				keys = append(keys, k)
+			}
+		})
+		for _, k := range keys {
+			v.Del(k)
+		}
+	})
+}
+
+type hostKey struct {
+	host lbm.NodeID
+	key  lbm.Key
+}
+
+// MergeParallel overlays virtual plans that use disjoint virtual nodes.
+func MergeParallel(plans ...*Plan) *Plan {
+	out := &Plan{}
+	maxLen := 0
+	for _, p := range plans {
+		if len(p.Rounds) > maxLen {
+			maxLen = len(p.Rounds)
+		}
+	}
+	for t := 0; t < maxLen; t++ {
+		var r Round
+		for _, p := range plans {
+			if t < len(p.Rounds) {
+				r = append(r, p.Rounds[t]...)
+			}
+		}
+		out.Append(r)
+	}
+	return out
+}
