@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lbmm table1 [-full]     measured Table 1 (complexity ladder)
+//	lbmm table1 [-full] [-profile]  measured Table 1 (complexity ladder)
 //	lbmm table2 [-full]     measured Table 2 (classification)
 //	lbmm table3             Table 3 (semiring parameter schedule)
 //	lbmm table4             Table 4 (field parameter schedule)
@@ -12,7 +12,8 @@
 //	lbmm ablation [-full]   Lemma 3.1 vs naive-routing ablation
 //	lbmm support [-full]    supported vs unsupported model (§1.6 baseline)
 //	lbmm json [-full]       every experiment's data as JSON
-//	lbmm trace [-n N] [-d D] [-alg NAME] [-workload NAME]  phase timeline
+//	lbmm trace [-n N] [-d D] [-alg NAME] [-workload NAME] [-format json|csv|text] [-o FILE]
+//	                        structured trace export (schema lbmm.trace.v1)
 //	lbmm demo [-n N] [-d D] one multiplication with a full report + timeline
 //	lbmm gen  [-n N] [-d D] -o PREFIX   write a generated instance to files
 //	lbmm solve -a A.mtx -b B.mtx -x XHAT.mtx [-o OUT.mtx]   solve from files
@@ -22,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lbmm/internal/algo"
@@ -51,7 +53,9 @@ func main() {
 	outPath := fs.String("o", "", "solve: result path / gen: file prefix")
 	ringName := fs.String("ring", "", "solve: override the ring (boolean|counting|minplus|maxplus|gfp|real)")
 	algName := fs.String("alg", "auto", "trace: algorithm (auto|theorem42|lemma31|trivial|baseline)")
-	wlName := fs.String("workload", "blocks", "trace: workload (blocks|mixed|us|hotpair)")
+	wlName := fs.String("workload", "blocks", "trace: workload (blocks|mixed|us|hotpair|powerlaw)")
+	format := fs.String("format", "json", "trace: output format (json|csv|text)")
+	profile := fs.Bool("profile", false, "table1: record per-point phase breakdowns")
 	_ = fs.Parse(os.Args[2:])
 
 	scale := exper.Quick
@@ -62,7 +66,7 @@ func main() {
 	var err error
 	switch cmd {
 	case "table1":
-		err = runTable1(scale)
+		err = runTable1(scale, *profile)
 	case "table2":
 		err = runTable2(scale)
 	case "table3":
@@ -80,7 +84,7 @@ func main() {
 	case "support":
 		err = runSupport(scale)
 	case "trace":
-		err = runTrace(*n, *d, *algName, *wlName)
+		err = runTrace(*n, *d, *algName, *wlName, *format, *outPath)
 	case "json":
 		var data []byte
 		if data, err = exper.JSON(scale); err == nil {
@@ -94,7 +98,7 @@ func main() {
 		err = runSolve(*aPath, *bPath, *xPath, *outPath, *ringName)
 	case "all":
 		for _, f := range []func() error{
-			func() error { return runTable1(scale) },
+			func() error { return runTable1(scale, *profile) },
 			func() error { return runTable2(scale) },
 			func() error { fmt.Print(params.Format(params.TableSemiring())); return nil },
 			func() error { fmt.Print(params.Format(params.TableField())); return nil },
@@ -122,8 +126,12 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|all> [flags]`)
 }
 
-func runTable1(scale exper.Scale) error {
-	rows, err := exper.Table1(scale)
+func runTable1(scale exper.Scale, profile bool) error {
+	var opts []exper.Opt
+	if profile {
+		opts = append(opts, exper.WithProfiling())
+	}
+	rows, err := exper.Table1(scale, opts...)
 	if err != nil {
 		return err
 	}
@@ -184,7 +192,7 @@ func runSupport(scale exper.Scale) error {
 	return nil
 }
 
-func runTrace(n, d int, algName, wlName string) error {
+func runTrace(n, d int, algName, wlName, format, outPath string) error {
 	var inst *graph.Instance
 	switch wlName {
 	case "blocks":
@@ -195,6 +203,8 @@ func runTrace(n, d int, algName, wlName string) error {
 		inst = workload.Instance(matrix.US, matrix.US, matrix.US, n, d, 42)
 	case "hotpair":
 		inst = workload.HotPair(n)
+	case "powerlaw":
+		inst = workload.PowerLaw(n, d, 42)
 	default:
 		return fmt.Errorf("unknown workload %q", wlName)
 	}
@@ -221,10 +231,37 @@ func runTrace(n, d int, algName, wlName string) error {
 	if err := algo.Verify(got, a, b, inst.Xhat); err != nil {
 		return err
 	}
-	fmt.Printf("%s on %s\n", res.Name, workload.Describe(inst))
-	fmt.Printf("total %d rounds, %d messages\n\n", res.Rounds, res.Stats.Messages)
-	fmt.Print(res.Timeline)
-	return nil
+
+	w := io.Writer(os.Stdout)
+	if outPath != "" {
+		fh, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		w = fh
+	}
+	switch format {
+	case "json", "csv":
+		e := res.Profile.Export()
+		e.Meta = map[string]string{
+			"algorithm": res.Name,
+			"workload":  wlName,
+			"instance":  workload.Describe(inst),
+		}
+		if format == "json" {
+			return e.WriteJSON(w)
+		}
+		return e.WriteCSV(w)
+	case "text":
+		fmt.Fprintf(w, "%s on %s\n", res.Name, workload.Describe(inst))
+		fmt.Fprintf(w, "total %d rounds, %d messages\n\n", res.Rounds, res.Stats.Messages)
+		fmt.Fprint(w, res.Profile.Summary())
+		fmt.Fprintf(w, "\nround timeline:\n%s", res.Timeline)
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want json, csv or text)", format)
+	}
 }
 
 func runDemo(n, d int) error {

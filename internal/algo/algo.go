@@ -27,6 +27,7 @@ import (
 	"lbmm/internal/graph"
 	"lbmm/internal/lbm"
 	"lbmm/internal/matrix"
+	"lbmm/internal/obsv"
 	"lbmm/internal/params"
 	"lbmm/internal/ring"
 	"lbmm/internal/routing"
@@ -54,6 +55,10 @@ type Result struct {
 	// Timeline is the phase-annotated round profile, present when the
 	// machine ran with tracing enabled.
 	Timeline string
+	// Profile is the full structured observability profile (phase spans,
+	// per-node loads, counters), present when the machine ran with a
+	// Profile collector (lbm.WithTrace or lbm.WithCollector).
+	Profile *obsv.Profile
 	// SupportWords / DisseminationRounds report the unsupported-mode
 	// structure-dissemination phase (zero in the supported model).
 	SupportWords        int
@@ -83,6 +88,7 @@ func Solve(r ring.Semiring, inst *graph.Instance, a, b *matrix.Sparse, alg Algor
 	}
 	res.Stats = m.Stats()
 	res.Rounds = res.Stats.Rounds
+	res.Profile = m.Profile()
 	if tr := m.Trace(); tr != nil {
 		res.Timeline = tr.Timeline()
 	}
@@ -425,6 +431,8 @@ func Theorem42(opts Theorem42Opts) Algorithm {
 		net := vnet.Roles(inst.N)
 		before := m.Rounds()
 		m.Mark("phase1:clusters")
+		m.BeginPhase("phase1")
+		m.Counter("kappa_target", float64(kappaTarget))
 		residual := tris
 		for _, st := range steps {
 			if len(residual) <= st.targetResidual {
@@ -446,32 +454,41 @@ func Theorem42(opts Theorem42Opts) Algorithm {
 			res.Cluster.CubeClusters += cs.CubeClusters
 			res.Cluster.StrassenClusters += cs.StrassenClusters
 			if err != nil {
+				m.EndPhase()
 				return nil, fmt.Errorf("theorem42 phase 1: %w", err)
 			}
 			residual = rest
 		}
 		res.Residual = len(residual)
 		res.Phase1Rounds = m.Rounds() - before
+		m.Counter("batches", float64(res.Batches))
+		m.Counter("residual", float64(res.Residual))
+		m.EndPhase()
 
 		// Phase 2 on the residual: Lemma 3.1, or the naive router for the
 		// prior-work reconstruction.
 		before = m.Rounds()
 		m.Mark("phase2:residual")
+		m.BeginPhase("phase2")
+		m.Counter("triangles", float64(len(residual)))
 		if opts.NaivePhase2 {
 			res.Name = "spaa22-reconstruction"
 			kappa, err := runNaiveVirtual(m, l, inst.N, residual, 0)
 			if err != nil {
+				m.EndPhase()
 				return nil, fmt.Errorf("spaa22 phase 2: %w", err)
 			}
 			res.Kappa = kappa
 		} else {
 			job, err := fewtri.Process(m, inst.N, l, residual, 0)
 			if err != nil {
+				m.EndPhase()
 				return nil, fmt.Errorf("theorem42 phase 2: %w", err)
 			}
 			res.Kappa = job.Kappa
 		}
 		res.Phase2Rounds = m.Rounds() - before
+		m.EndPhase()
 		return res, nil
 	}
 }

@@ -1,0 +1,114 @@
+package algo
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+	"lbmm/internal/obsv"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenExport runs the fixed-seed reference execution whose trace is pinned
+// in testdata: LemmaOnly on the extremal block instance. Everything in the
+// pipeline is deterministic (seeded values, sorted message sets, sequential
+// engine), so the JSON must be byte-identical run to run.
+func goldenExport(t *testing.T) *obsv.Export {
+	t.Helper()
+	inst := workload.Blocks(16, 2)
+	r := ring.Counting{}
+	a := matrix.Random(inst.Ahat, r, 1)
+	b := matrix.Random(inst.Bhat, r, 2)
+	res, got, err := Solve(r, inst, a, b, LemmaOnly, lbm.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(got, a, b, inst.Xhat); err != nil {
+		t.Fatal(err)
+	}
+	e := res.Profile.Export()
+	e.Meta = map[string]string{"algorithm": res.Name, "workload": "blocks(16,2)"}
+	return e
+}
+
+func TestTraceExportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenExport(t).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "trace_lemma31_blocks.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace export drifted from golden file %s (run with -update if intended)\ngot:\n%s", path, buf.String())
+	}
+}
+
+func TestTraceExportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenExport(t).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenExport(t).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical runs exported different traces")
+	}
+}
+
+// TestTheorem42PhaseRoundsTile pins the export invariant the CLI relies on:
+// on a full two-phase run, the top-level phase round counts sum exactly to
+// the total (gaps, if any, appear as explicit "(unphased)" spans).
+func TestTheorem42PhaseRoundsTile(t *testing.T) {
+	inst := workload.Mixed(32, 4, 7)
+	r := ring.Boolean{}
+	a := matrix.Random(inst.Ahat, r, 1)
+	b := matrix.Random(inst.Bhat, r, 2)
+	res, got, err := Solve(r, inst, a, b, Theorem42(Theorem42Opts{}), lbm.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(got, a, b, inst.Xhat); err != nil {
+		t.Fatal(err)
+	}
+	e := res.Profile.Export()
+	if e.Rounds != res.Rounds {
+		t.Errorf("export rounds %d != result rounds %d", e.Rounds, res.Rounds)
+	}
+	sum, at := 0, 0
+	for _, s := range e.Phases {
+		sum += s.Rounds
+		if s.Start != at {
+			t.Errorf("phase %q starts at %d, want %d", s.Label, s.Start, at)
+		}
+		at = s.End
+	}
+	if sum != e.Rounds || at != e.Rounds {
+		t.Errorf("top-level phases sum to %d, tile to %d, total %d", sum, at, e.Rounds)
+	}
+	var msgs int64
+	for _, s := range e.Phases {
+		msgs += s.Messages
+	}
+	if msgs != e.Messages {
+		t.Errorf("top-level phase messages sum to %d, total %d", msgs, e.Messages)
+	}
+}

@@ -39,7 +39,10 @@ func decodeEntry(v float64, n int) (which, i, j int) {
 // the number of structure words moved. Afterwards every computer holds all
 // support entries under Key{kindSupport, t, 0, 0} for t = 0..words-1.
 func DisseminateSupport(m *lbm.Machine, l *lbm.Layout, inst *graph.Instance) (int, error) {
+	m.BeginPhase("unsupported")
+	defer m.EndPhase()
 	m.Mark("unsupported:gather")
+	m.BeginPhase("gather")
 	// Each owner sends the code word of each entry it holds to computer 0.
 	type entry struct {
 		owner lbm.NodeID
@@ -73,12 +76,16 @@ func DisseminateSupport(m *lbm.Machine, l *lbm.Layout, inst *graph.Instance) (in
 		dst := lbm.Key{Kind: kindSupport, I: int32(t), J: 0, Seq: 0}
 		msgs = append(msgs, routing.Msg{From: e.owner, To: 0, Src: src, Dst: dst, Op: lbm.OpSet})
 	}
-	if err := m.Run(routing.Schedule(msgs, routing.Auto)); err != nil {
+	err := m.Run(routing.Schedule(msgs, routing.Auto))
+	m.EndPhase()
+	if err != nil {
 		return 0, fmt.Errorf("unsupported gather: %w", err)
 	}
 
 	// Pipeline-broadcast the words to everyone.
 	m.Mark("unsupported:broadcast")
+	m.BeginPhase("broadcast")
+	m.Counter("words", float64(len(entries)))
 	nodes := make([]lbm.NodeID, m.N)
 	for i := range nodes {
 		nodes[i] = lbm.NodeID(i)
@@ -86,7 +93,9 @@ func DisseminateSupport(m *lbm.Machine, l *lbm.Layout, inst *graph.Instance) (in
 	plan := routing.PipelinedBroadcast(nodes, len(entries), func(t int) lbm.Key {
 		return lbm.Key{Kind: kindSupport, I: int32(t), J: 0, Seq: 0}
 	})
-	if err := m.Run(plan); err != nil {
+	err = m.Run(plan)
+	m.EndPhase()
+	if err != nil {
 		return 0, fmt.Errorf("unsupported broadcast: %w", err)
 	}
 	return len(entries), nil

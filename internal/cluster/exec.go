@@ -155,6 +155,21 @@ func RunBatch(m *lbm.Machine, net *vnet.Net, n int, l *lbm.Layout, batch Batch) 
 	if err != nil {
 		return ExecStats{}, err
 	}
+	m.BeginPhase("cluster/batch")
+	defer m.EndPhase()
+	m.Counter("clusters", float64(len(batch.Clusters)))
+	m.Counter("cube_clusters", float64(pb.Stats.CubeClusters))
+	m.Counter("strassen_clusters", float64(pb.Stats.StrassenClusters))
+	m.Counter("triangles", float64(batch.Size()))
+	var volume float64
+	for _, a := range batch.Clusters {
+		volume += float64(len(a.Cluster.I)) * float64(len(a.Cluster.J)) * float64(len(a.Cluster.K))
+	}
+	if volume > 0 {
+		// Density = assigned triangles per unit of cluster volume: Lemma
+		// 4.7's gain criterion in measurable form.
+		m.Counter("density", float64(batch.Size())/volume)
+	}
 	return pb.Stats, pb.Run(m, net)
 }
 

@@ -274,11 +274,17 @@ func RunCubeJobs(m *lbm.Machine, net *vnet.Net, jobs []*CubeJob) error {
 			aggPlans = append(aggPlans, j.aggregate)
 		}
 	}
+	m.BeginPhase("dense/cube")
+	defer m.EndPhase()
+	m.Counter("jobs", float64(len(jobs)))
 	dist, err := net.Compile(vnet.MergeParallel(distPlans...), routing.Auto)
 	if err != nil {
 		return fmt.Errorf("dense: distribute: %w", err)
 	}
-	if err := m.Run(dist); err != nil {
+	m.BeginPhase("distribute")
+	err = m.Run(dist)
+	m.EndPhase()
+	if err != nil {
 		return fmt.Errorf("dense: distribute: %w", err)
 	}
 	for _, j := range jobs {
@@ -292,7 +298,10 @@ func RunCubeJobs(m *lbm.Machine, net *vnet.Net, jobs []*CubeJob) error {
 	if err != nil {
 		return fmt.Errorf("dense: aggregate: %w", err)
 	}
-	if err := m.Run(agg); err != nil {
+	m.BeginPhase("aggregate")
+	err = m.Run(agg)
+	m.EndPhase()
+	if err != nil {
 		return fmt.Errorf("dense: aggregate: %w", err)
 	}
 	for _, j := range jobs {

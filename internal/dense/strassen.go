@@ -497,20 +497,29 @@ func RunStrassenJobs(m *lbm.Machine, net *vnet.Net, jobs []*StrassenJob) error {
 		if err != nil {
 			return fmt.Errorf("dense: strassen %s: %w", what, err)
 		}
-		if err := m.Run(real); err != nil {
+		m.BeginPhase(what)
+		err = m.Run(real)
+		m.EndPhase()
+		if err != nil {
 			return fmt.Errorf("dense: strassen %s: %w", what, err)
 		}
 		return nil
 	}
 
-	if err := runPhase(func(j *StrassenJob) *vnet.Plan { return j.init }, "init"); err != nil {
-		return err
-	}
 	maxDown := 0
 	for _, j := range jobs {
 		if len(j.down) > maxDown {
 			maxDown = len(j.down)
 		}
+	}
+	m.BeginPhase("dense/strassen")
+	defer m.EndPhase()
+	m.Counter("jobs", float64(len(jobs)))
+	// maxDown is the recursion depth k: each level transition is one down
+	// (and later one up) phase, labelled with its level.
+	m.Counter("levels", float64(maxDown))
+	if err := runPhase(func(j *StrassenJob) *vnet.Plan { return j.init }, "init"); err != nil {
+		return err
 	}
 	for l := 0; l < maxDown; l++ {
 		l := l
@@ -519,17 +528,20 @@ func RunStrassenJobs(m *lbm.Machine, net *vnet.Net, jobs []*StrassenJob) error {
 				return j.down[l]
 			}
 			return nil
-		}, "down"); err != nil {
+		}, fmt.Sprintf("down.L%d", l+1)); err != nil {
 			return err
 		}
 	}
 	// Leaf products (free local computation).
+	m.BeginPhase("leaf")
 	f, _ := ring.AsField(m.R)
 	for _, j := range jobs {
+		m.Counter("leaf_products", float64(len(j.leafs)))
 		for _, lt := range j.leafs {
 			runLeaf(m, f, lt)
 		}
 	}
+	m.EndPhase()
 	maxUp := 0
 	for _, j := range jobs {
 		if len(j.up) > maxUp {
@@ -543,7 +555,7 @@ func RunStrassenJobs(m *lbm.Machine, net *vnet.Net, jobs []*StrassenJob) error {
 				return j.up[l]
 			}
 			return nil
-		}, "up"); err != nil {
+		}, fmt.Sprintf("up.L%d", maxUp-l)); err != nil {
 			return err
 		}
 	}

@@ -21,6 +21,39 @@ import (
 type Point struct {
 	X      float64 // the swept parameter (n or d)
 	Rounds int
+	// Phases is the top-level phase breakdown of the run (present only when
+	// the sweep ran with WithProfiling). The counts tile the round budget:
+	// they sum exactly to Rounds, with gaps reported as "(unphased)".
+	Phases []PhaseCount `json:",omitempty"`
+}
+
+// PhaseCount is one top-level phase's share of a point's round budget.
+type PhaseCount struct {
+	Label  string
+	Rounds int
+}
+
+// Opt tunes an experiment sweep.
+type Opt func(*sweepOptions)
+
+type sweepOptions struct {
+	profiling bool
+}
+
+// WithProfiling attaches an observability collector to every verified
+// algorithm run of the sweep and records each point's top-level phase
+// breakdown (Point.Phases). Dense black-box rows, which bypass the
+// algorithm harness, are unaffected.
+func WithProfiling() Opt {
+	return func(o *sweepOptions) { o.profiling = true }
+}
+
+func resolveOpts(opts []Opt) sweepOptions {
+	var o sweepOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
 }
 
 // Series is a named measurement series with its theoretical exponent.
@@ -72,6 +105,13 @@ func (s *Series) Format(param string) string {
 	fmt.Fprintf(&b, " fit %.3f (tail %.3f)\n", s.FittedExponent(), s.TailExponent())
 	for _, p := range s.Points {
 		fmt.Fprintf(&b, "    %s=%-6.0f rounds=%d\n", param, p.X, p.Rounds)
+		if len(p.Phases) > 0 {
+			b.WriteString("        phases:")
+			for _, ph := range p.Phases {
+				fmt.Fprintf(&b, " %s=%d", ph.Label, ph.Rounds)
+			}
+			b.WriteString("\n")
+		}
 	}
 	return b.String()
 }
@@ -80,10 +120,11 @@ func (s *Series) Format(param string) string {
 // r, verifies the product, and returns the result. The goroutine engine is
 // enabled; it only engages on rounds big enough to amortize (ParBatch) and
 // is equivalence-tested against the sequential engine.
-func runVerified(r ring.Semiring, inst *graph.Instance, alg algo.Algorithm, seed int64) (*algo.Result, error) {
+func runVerified(r ring.Semiring, inst *graph.Instance, alg algo.Algorithm, seed int64, extra ...lbm.Option) (*algo.Result, error) {
 	a := matrix.Random(inst.Ahat, r, seed)
 	b := matrix.Random(inst.Bhat, r, seed+1)
-	res, got, err := algo.Solve(r, inst, a, b, alg, lbm.WithAutoWorkers())
+	mopts := append([]lbm.Option{lbm.WithAutoWorkers()}, extra...)
+	res, got, err := algo.Solve(r, inst, a, b, alg, mopts...)
 	if err != nil {
 		return nil, err
 	}
@@ -95,4 +136,19 @@ func runVerified(r ring.Semiring, inst *graph.Instance, alg algo.Algorithm, seed
 
 func describe(inst *graph.Instance) string {
 	return fmt.Sprintf("n=%d d=%d", inst.N, inst.D)
+}
+
+// phaseCounts extracts a result's top-level phase breakdown from its
+// observability profile (nil when the run was not profiled). The export
+// layer guarantees the counts tile [0, Rounds), so they sum to the total.
+func phaseCounts(res *algo.Result) []PhaseCount {
+	if res.Profile == nil {
+		return nil
+	}
+	e := res.Profile.Export()
+	out := make([]PhaseCount, 0, len(e.Phases))
+	for _, s := range e.Phases {
+		out = append(out, PhaseCount{Label: s.Label, Rounds: s.Rounds})
+	}
+	return out
 }

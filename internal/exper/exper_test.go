@@ -3,6 +3,7 @@ package exper
 import (
 	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -190,6 +191,39 @@ func TestAblationStrassenVariant(t *testing.T) {
 // deterministic function of the support: two fresh runs of the whole
 // Table 1 harness must measure identical round counts (this catches any
 // map-iteration order leaking into plans).
+// TestTable1Profiling checks the WithProfiling wiring: the sparse algorithm
+// rows must carry per-point phase breakdowns that tile the measured round
+// count exactly (the export invariant), and the formatter must render them.
+func TestTable1Profiling(t *testing.T) {
+	rows, err := Table1(Quick, WithProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled := 0
+	for _, s := range rows {
+		for _, p := range s.Points {
+			if len(p.Phases) == 0 {
+				continue
+			}
+			profiled++
+			sum := 0
+			for _, ph := range p.Phases {
+				sum += ph.Rounds
+			}
+			if sum != p.Rounds {
+				t.Errorf("%s x=%g: phases sum to %d, rounds %d", s.Name, p.X, sum, p.Rounds)
+			}
+		}
+	}
+	if profiled == 0 {
+		t.Fatal("no profiled points — WithProfiling not wired through")
+	}
+	out := FormatTable1(rows, "")
+	if !strings.Contains(out, "phases:") {
+		t.Error("FormatTable1 does not render phase breakdowns")
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	r1, err := Table1(Quick)
 	if err != nil {
@@ -204,7 +238,7 @@ func TestDeterminism(t *testing.T) {
 	}
 	for i := range r1 {
 		for j := range r1[i].Points {
-			if r1[i].Points[j] != r2[i].Points[j] {
+			if !reflect.DeepEqual(r1[i].Points[j], r2[i].Points[j]) {
 				t.Fatalf("%s point %d: %v vs %v — nondeterministic rounds",
 					r1[i].Name, j, r1[i].Points[j], r2[i].Points[j])
 			}

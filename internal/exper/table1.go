@@ -31,7 +31,14 @@ const (
 // where the paper's exponents are the binding ones). Absolute constants
 // include the simulation overheads (role multiplexing ≤3×, Euler colouring
 // <2×); the claim under reproduction is the growth exponent.
-func Table1(scale Scale) ([]Series, error) {
+// Passing WithProfiling attaches an observability collector to the sparse
+// algorithm rows and fills every such Point's Phases breakdown.
+func Table1(scale Scale, opts ...Opt) ([]Series, error) {
+	o := resolveOpts(opts)
+	var mopts []lbm.Option
+	if o.profiling {
+		mopts = append(mopts, lbm.WithTrace())
+	}
 	denseNs := []int{9, 18, 36}
 	sparseDs := []int{4, 8, 16}
 	strassenNs := []int{8, 16, 32}
@@ -123,11 +130,11 @@ func Table1(scale Scale) ([]Series, error) {
 		s := Series{Name: sr.name, Theory: sr.theory, Expo: sr.expo}
 		for _, d := range sparseDs {
 			inst := workload.Blocks(8*d, d)
-			res, err := runVerified(sr.r, inst, sr.alg, int64(d))
+			res, err := runVerified(sr.r, inst, sr.alg, int64(d), mopts...)
 			if err != nil {
 				return nil, err
 			}
-			s.Points = append(s.Points, Point{X: float64(d), Rounds: res.Rounds})
+			s.Points = append(s.Points, Point{X: float64(d), Rounds: res.Rounds, Phases: phaseCounts(res)})
 		}
 		out = append(out, s)
 	}
@@ -137,11 +144,11 @@ func Table1(scale Scale) ([]Series, error) {
 	mixed := Series{Name: "this work semiring (mixed)", Theory: "O(d^{1.867})", Expo: 1.867}
 	for _, d := range sparseDs {
 		inst := workload.Mixed(8*d, d, int64(d))
-		res, err := runVerified(ring.Boolean{}, inst, algo.Theorem42(algo.Theorem42Opts{}), int64(d))
+		res, err := runVerified(ring.Boolean{}, inst, algo.Theorem42(algo.Theorem42Opts{}), int64(d), mopts...)
 		if err != nil {
 			return nil, err
 		}
-		mixed.Points = append(mixed.Points, Point{X: float64(d), Rounds: res.Rounds})
+		mixed.Points = append(mixed.Points, Point{X: float64(d), Rounds: res.Rounds, Phases: phaseCounts(res)})
 	}
 	out = append(out, mixed)
 	return out, nil

@@ -354,23 +354,46 @@ func Run(m *lbm.Machine, job *Job) error {
 		"lemma31:B anchor", "lemma31:B spread", "lemma31:B forward",
 		"lemma31:out route", "lemma31:out reduce", "lemma31:out deliver",
 	}
-	for i, p := range job.plans[:6] {
+	// Structured phase names (the legacy Mark labels above are kept for the
+	// flat Trace view); anchor/spread/forward are §3.3's three input steps,
+	// route/aggregate/deliver their converses for the outputs.
+	phases := [9]string{
+		"A/anchor", "A/spread", "A/forward",
+		"B/anchor", "B/spread", "B/forward",
+		"out/route", "out/aggregate", "out/deliver",
+	}
+	m.BeginPhase("lemma31")
+	defer m.EndPhase()
+	m.Counter("kappa", float64(job.Kappa))
+	m.Counter("virtual_nodes", float64(job.VirtualNodes))
+	runStep := func(i int, p *lbm.Plan, what string) error {
 		m.Mark(labels[i])
-		if err := m.Run(p); err != nil {
-			return fmt.Errorf("fewtri input routing: %w", err)
+		m.BeginPhase(phases[i])
+		err := m.Run(p)
+		m.EndPhase()
+		if err != nil {
+			return fmt.Errorf("fewtri %s routing: %w", what, err)
+		}
+		return nil
+	}
+	for i, p := range job.plans[:6] {
+		if err := runStep(i, p, "input"); err != nil {
+			return err
 		}
 	}
+	m.BeginPhase("products")
 	for _, pg := range job.products {
+		m.Counter("triangles", float64(len(pg.tris)))
 		for _, t := range pg.tris {
 			av := m.MustGet(pg.host, lbm.AKey(t.I, t.J))
 			bv := m.MustGet(pg.host, lbm.BKey(t.J, t.K))
 			m.Acc(pg.host, lbm.PKey(t.I, t.K, pg.vid), m.R.Mul(av, bv))
 		}
 	}
+	m.EndPhase()
 	for i, p := range job.plans[6:] {
-		m.Mark(labels[6+i])
-		if err := m.Run(p); err != nil {
-			return fmt.Errorf("fewtri output routing: %w", err)
+		if err := runStep(6+i, p, "output"); err != nil {
+			return err
 		}
 	}
 	for _, ck := range job.cleanup {

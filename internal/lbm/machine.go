@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 
+	"lbmm/internal/obsv"
 	"lbmm/internal/ring"
 )
 
@@ -45,6 +47,20 @@ type Round []Send
 // Plan is a sequence of rounds, precomputed from the support.
 type Plan struct {
 	Rounds []Round
+	// Spans are builder-attached phase annotations over round index ranges
+	// of this plan; when the plan runs on a machine with a collector, the
+	// executor replays them as phase spans (see Machine.Run).
+	Spans []PhaseSpan
+}
+
+// PhaseSpan annotates rounds [Start, End) of a plan with a builder phase
+// and optional structural metrics (κ, tree depth, Δ, …). Start == End marks
+// a zero-round phase, which the executor still reports so phases that
+// happened to need no communication stay visible.
+type PhaseSpan struct {
+	Label      string
+	Start, End int
+	Metrics    map[string]float64
 }
 
 // Append adds a round to the plan. Empty rounds are dropped: a round in
@@ -55,10 +71,23 @@ func (p *Plan) Append(r Round) {
 	}
 }
 
+// Annotate attaches a phase span covering every round currently in the
+// plan. Builders call it on a finished sub-plan; Extend keeps the span
+// anchored when plans are composed.
+func (p *Plan) Annotate(label string, metrics map[string]float64) {
+	p.Spans = append(p.Spans, PhaseSpan{Label: label, Start: 0, End: len(p.Rounds), Metrics: metrics})
+}
+
 // Extend appends all rounds of q after the rounds of p (sequential
-// composition).
+// composition). Phase spans of q shift with its rounds.
 func (p *Plan) Extend(q *Plan) {
+	off := len(p.Rounds)
 	p.Rounds = append(p.Rounds, q.Rounds...)
+	for _, s := range q.Spans {
+		s.Start += off
+		s.End += off
+		p.Spans = append(p.Spans, s)
+	}
 }
 
 // NumRounds returns the number of (non-empty) rounds in the plan.
@@ -67,7 +96,8 @@ func (p *Plan) NumRounds() int { return len(p.Rounds) }
 // MergeParallel overlays several plans that use disjoint sets of computers:
 // round t of the result is the union of round t of every input. The
 // machine's validator still checks the per-node constraints, so an invalid
-// overlay (shared computers) is caught at execution time.
+// overlay (shared computers) is caught at execution time. Phase spans are
+// dropped: a merged round has no single phase attribution.
 func MergeParallel(plans ...*Plan) *Plan {
 	out := &Plan{}
 	maxLen := 0
@@ -142,7 +172,9 @@ type Machine struct {
 	stores []map[Key]ring.Value
 	stats  Stats
 	field  ring.Field // non-nil iff R is a Field; required by OpSub
-	trace  *Trace     // nil unless tracing enabled
+	// collector receives observability events; nil (the default) is the
+	// zero-overhead path — every hook is behind a single nil check.
+	collector obsv.Collector
 
 	// round-scoped scratch for O(1) constraint checks
 	sentAt, recvAt []int32
@@ -164,6 +196,48 @@ func WithAutoWorkers() Option {
 // of simultaneously stored values.
 func WithStoreLimit(limit int) Option {
 	return func(m *Machine) { m.StoreLimit = limit }
+}
+
+// WithCollector attaches an observability collector to a new machine.
+func WithCollector(c obsv.Collector) Option {
+	return func(m *Machine) { m.collector = c }
+}
+
+// SetCollector attaches (or, with nil, detaches) a collector.
+func (m *Machine) SetCollector(c obsv.Collector) { m.collector = c }
+
+// Collector returns the attached collector, or nil.
+func (m *Machine) Collector() obsv.Collector { return m.collector }
+
+// Profile returns the attached collector as an *obsv.Profile when it is
+// one (the WithTrace/EnableTrace default), and nil otherwise.
+func (m *Machine) Profile() *obsv.Profile {
+	if p, ok := m.collector.(*obsv.Profile); ok {
+		return p
+	}
+	return nil
+}
+
+// BeginPhase opens a nested phase span on the collector (free no-op when
+// observability is off).
+func (m *Machine) BeginPhase(label string) {
+	if m.collector != nil {
+		m.collector.BeginPhase(label)
+	}
+}
+
+// EndPhase closes the innermost open phase span.
+func (m *Machine) EndPhase() {
+	if m.collector != nil {
+		m.collector.EndPhase()
+	}
+}
+
+// Counter adds delta to a named metric on the current phase span.
+func (m *Machine) Counter(name string, delta float64) {
+	if m.collector != nil {
+		m.collector.Counter(name, delta)
+	}
 }
 
 // New returns a machine with n computers, all stores empty.
@@ -302,16 +376,22 @@ func (m *Machine) RunRound(r Round) error {
 	if real > 0 {
 		m.stats.Rounds++
 		m.stats.Messages += real
-		if m.trace != nil {
-			m.trace.record(int(real))
-		}
+		c := m.collector
+		var locals int64
 		for _, s := range r {
 			if s.From != s.To {
 				m.stats.SendLoad[s.From]++
 				m.stats.RecvLoad[s.To]++
+				if c != nil {
+					c.OnSend(s.From, s.To)
+				}
 			} else {
-				m.stats.LocalCopies++
+				locals++
 			}
+		}
+		m.stats.LocalCopies += locals
+		if c != nil {
+			c.OnRound(int(real), int(locals))
 		}
 	} else if len(r) > 0 {
 		// A round of only local copies costs nothing.
@@ -432,14 +512,82 @@ func (m *Machine) applyOp(st map[Key]ring.Value, dst Key, op Op, payload ring.Va
 	}
 }
 
-// Run executes every round of the plan in order.
+// Run executes every round of the plan in order. When a collector is
+// attached and the plan carries builder phase spans, the spans are replayed
+// as phases around the rounds they cover.
 func (m *Machine) Run(p *Plan) error {
-	for t, r := range p.Rounds {
-		if err := m.RunRound(r); err != nil {
+	if m.collector == nil || len(p.Spans) == 0 {
+		for t, r := range p.Rounds {
+			if err := m.RunRound(r); err != nil {
+				return fmt.Errorf("round %d: %w", t, err)
+			}
+		}
+		return nil
+	}
+	return m.runSpanned(p)
+}
+
+// runSpanned executes a plan while opening and closing its phase spans on
+// the collector. Spans must be non-overlapping or properly nested (builders
+// produce them that way); they are replayed outermost-first.
+func (m *Machine) runSpanned(p *Plan) error {
+	spans := append([]PhaseSpan(nil), p.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].End > spans[j].End
+	})
+	si := 0
+	var stack []PhaseSpan
+	closeTo := func(t int) {
+		for len(stack) > 0 && stack[len(stack)-1].End <= t {
+			m.collector.EndPhase()
+			stack = stack[:len(stack)-1]
+		}
+	}
+	emit := func(sp PhaseSpan) {
+		m.collector.BeginPhase(sp.Label)
+		for _, k := range sortedMetricKeys(sp.Metrics) {
+			m.collector.Counter(k, sp.Metrics[k])
+		}
+	}
+	for t := 0; t <= len(p.Rounds); t++ {
+		closeTo(t)
+		for si < len(spans) && spans[si].Start == t {
+			sp := spans[si]
+			si++
+			if sp.End <= sp.Start {
+				// Zero-round phase: report and close immediately.
+				emit(sp)
+				m.collector.EndPhase()
+				continue
+			}
+			emit(sp)
+			stack = append(stack, sp)
+		}
+		if t == len(p.Rounds) {
+			break
+		}
+		if err := m.RunRound(p.Rounds[t]); err != nil {
+			closeTo(len(p.Rounds) + 1)
 			return fmt.Errorf("round %d: %w", t, err)
 		}
 	}
+	closeTo(len(p.Rounds) + 1)
 	return nil
+}
+
+func sortedMetricKeys(m map[string]float64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // LocalAll applies a free local-computation step to every node. The callback
@@ -566,7 +714,7 @@ func (m *Machine) Reset() {
 		m.stats.SendLoad[i] = 0
 		m.stats.RecvLoad[i] = 0
 	}
-	if m.trace != nil {
-		m.trace = &Trace{Marks: map[int][]string{}}
+	if p := m.Profile(); p != nil {
+		p.Reset()
 	}
 }

@@ -3,50 +3,66 @@ package lbm
 import (
 	"fmt"
 	"strings"
+
+	"lbmm/internal/obsv"
 )
 
-// Trace records a per-round message timeline with phase labels, for
-// understanding where an algorithm's round budget goes. Tracing is off by
-// default; enable it with WithTrace or EnableTrace.
+// Trace is the legacy flat view of a recorded execution profile: a
+// per-round message timeline with boundary labels. It is now a thin
+// read-only adapter over the machine's obsv.Profile collector — new code
+// should use Machine.Profile() directly, which additionally carries nested
+// phase spans, per-node loads and structural counters.
 type Trace struct {
 	// PerRound[i] is the number of real messages in the i-th counted round.
 	PerRound []int
 	// Marks are phase labels: Marks[r] annotates the boundary *before*
-	// counted round r.
+	// counted round r. Labels placed before rounds that end up empty are
+	// carried forward to the next counted round (never silently dropped);
+	// labels after the final counted round appear at r == len(PerRound).
 	Marks map[int][]string
 }
 
-// WithTrace enables round tracing on a new machine.
+// WithTrace enables round tracing on a new machine by attaching a fresh
+// obsv.Profile collector.
 func WithTrace() Option { return func(m *Machine) { m.EnableTrace() } }
 
-// EnableTrace switches tracing on (no-op if already on).
+// EnableTrace switches tracing on (no-op if a collector is already
+// attached).
 func (m *Machine) EnableTrace() {
-	if m.trace == nil {
-		m.trace = &Trace{Marks: map[int][]string{}}
+	if m.collector == nil {
+		m.collector = obsv.NewProfile()
 	}
 }
 
-// Trace returns the recorded trace, or nil when tracing is off.
-func (m *Machine) Trace() *Trace { return m.trace }
+// Trace returns a snapshot of the recorded trace, or nil when no profile
+// collector is attached.
+func (m *Machine) Trace() *Trace {
+	p := m.Profile()
+	if p == nil {
+		return nil
+	}
+	tr := &Trace{PerRound: p.PerRoundMessages(), Marks: map[int][]string{}}
+	for _, mk := range p.Marks() {
+		tr.Marks[mk.Round] = append(tr.Marks[mk.Round], mk.Labels...)
+	}
+	return tr
+}
 
 // Mark annotates the current position in the round timeline with a phase
-// label (free; no-op when tracing is off).
+// label (free; no-op when no collector is attached). The label anchors to
+// the next counted round: if the rounds that follow are all empty or
+// local-only, the label merges into the next real round's boundary instead
+// of vanishing.
 func (m *Machine) Mark(label string) {
-	if m.trace == nil {
-		return
+	if m.collector != nil {
+		m.collector.Mark(label)
 	}
-	r := len(m.trace.PerRound)
-	m.trace.Marks[r] = append(m.trace.Marks[r], label)
-}
-
-// record appends one counted round with its real-message count.
-func (tr *Trace) record(realMsgs int) {
-	tr.PerRound = append(tr.PerRound, realMsgs)
 }
 
 // Timeline renders the trace as a compact text histogram: one line per
 // phase segment with its round span, message volume, and a sparkline of
-// per-round sizes.
+// per-round sizes. Trailing labels with no rounds after them render as
+// zero-round segments.
 func (tr *Trace) Timeline() string {
 	if tr == nil {
 		return "(tracing disabled)\n"
@@ -60,18 +76,16 @@ func (tr *Trace) Timeline() string {
 	from := 0
 	for r := 0; r <= len(tr.PerRound); r++ {
 		labels, marked := tr.Marks[r]
-		if marked && r > from {
+		if !marked {
+			continue
+		}
+		if r > from {
 			segs = append(segs, segment{label: current, from: from, to: r})
-			from = r
 		}
-		if marked {
-			current = strings.Join(labels, "+")
-			if r == from && len(segs) == 0 && r == 0 {
-				// Label at the very start replaces the default.
-			}
-		}
+		current = strings.Join(labels, "+")
+		from = r
 	}
-	if from < len(tr.PerRound) {
+	if from < len(tr.PerRound) || tr.Marks[from] != nil {
 		segs = append(segs, segment{label: current, from: from, to: len(tr.PerRound)})
 	}
 

@@ -1,0 +1,81 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary renders the profile as a per-phase table: one indented line per
+// span with its round extent, message volume, a sparkline of the per-round
+// message sizes, and its counters. It is the human-facing counterpart of
+// Export.
+func (p *Profile) Summary() string {
+	rounds := p.rounds
+	peak := 0
+	for _, r := range rounds {
+		if r.Messages > peak {
+			peak = r.Messages
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %7s %10s  %-24s %s\n", "phase", "rounds", "messages", "per-round profile", "counters")
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		indent := strings.Repeat("  ", depth)
+		vals := make([]int, 0, s.Rounds())
+		for i := s.Start; i < s.End && i < len(rounds); i++ {
+			vals = append(vals, rounds[i].Messages)
+		}
+		fmt.Fprintf(&b, "%-36s %7d %10d  %-24s %s\n",
+			indent+s.Label, s.Rounds(), s.MessagesIn(rounds), sparkline(vals, peak), formatCounters(s.Counters))
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	root := p.Root()
+	for _, c := range root.Children {
+		walk(c, 0)
+	}
+	fmt.Fprintf(&b, "%-36s %7d %10d\n", "total", len(rounds), p.Messages())
+	return b.String()
+}
+
+// sparkline renders up to 24 buckets of round sizes, scaled to the global
+// peak so phases are visually comparable.
+func sparkline(vals []int, peak int) string {
+	if len(vals) == 0 || peak == 0 {
+		return ""
+	}
+	const width = 24
+	levels := []rune("▁▂▃▄▅▆▇█")
+	buckets := len(vals)
+	if buckets > width {
+		buckets = width
+	}
+	out := make([]rune, buckets)
+	for i := 0; i < buckets; i++ {
+		lo := i * len(vals) / buckets
+		hi := (i + 1) * len(vals) / buckets
+		if hi == lo {
+			hi = lo + 1
+		}
+		mx := 0
+		for _, v := range vals[lo:hi] {
+			if v > mx {
+				mx = v
+			}
+		}
+		out[i] = levels[mx*(len(levels)-1)/peak]
+	}
+	return string(out)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

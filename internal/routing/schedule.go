@@ -104,6 +104,15 @@ func Schedule(msgs []Msg, strategy Strategy) *lbm.Plan {
 		}
 		plan.Append(round)
 	}
+	if len(msgs) > 0 {
+		maxSend, maxRecv := MaxDegrees(msgs)
+		plan.Annotate("routing/hrel", map[string]float64{
+			"messages":   float64(len(remote)),
+			"local":      float64(len(local)),
+			"delta_send": float64(maxSend),
+			"delta_recv": float64(maxRecv),
+		})
+	}
 	return plan
 }
 
@@ -167,7 +176,27 @@ func BroadcastPlan(groups []Group) *lbm.Plan {
 		}
 		plan.Append(round)
 	}
+	annotateTreePlan(plan, "routing/broadcast", groups)
 	return plan
+}
+
+// annotateTreePlan attaches the tree-phase span: depth (= rounds), group
+// count and largest group — the O(log m) term made visible.
+func annotateTreePlan(plan *lbm.Plan, label string, groups []Group) {
+	if len(groups) == 0 {
+		return
+	}
+	maxGroup := 0
+	for _, g := range groups {
+		if len(g.Nodes) > maxGroup {
+			maxGroup = len(g.Nodes)
+		}
+	}
+	plan.Annotate(label, map[string]float64{
+		"groups":    float64(len(groups)),
+		"depth":     float64(len(plan.Rounds)),
+		"max_group": float64(maxGroup),
+	})
 }
 
 // ConvergecastPlan builds a plan in which, for every group, the partial
@@ -194,5 +223,6 @@ func ConvergecastPlan(groups []Group) *lbm.Plan {
 		}
 		plan.Append(round)
 	}
+	annotateTreePlan(plan, "routing/convergecast", groups)
 	return plan
 }

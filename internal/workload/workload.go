@@ -204,6 +204,42 @@ func Mixed(n, d int, seed int64) *graph.Instance {
 		matrix.Union(base.Xhat, US(n, d, rng)))
 }
 
+// PowerLaw returns a skewed instance whose row degrees follow a zipf-like
+// power law: the hottest row carries ≈ d·n/H(n) entries while the tail
+// thins out as 1/rank, with the diagonal always present so every row
+// participates in at least the (i,i,i) triangle. Each matrix draws an
+// independent hot-row permutation, so hot A-rows meet hot B-rows only
+// through the uniform column draws — the contention profile the
+// observability layer is built to expose. Total nnz per matrix ≈ d·n.
+func PowerLaw(n, d int, seed int64) *graph.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	gen := func() *matrix.Support {
+		perm := rng.Perm(n)
+		// Normalize so Σ_{r=1..n} c/r ≈ the d·n budget.
+		h := 0.0
+		for r := 1; r <= n; r++ {
+			h += 1.0 / float64(r)
+		}
+		c := float64(d*n) / h
+		var es [][2]int
+		for rank, i := range perm {
+			deg := int(c / float64(rank+1))
+			if deg < 1 {
+				deg = 1
+			}
+			if deg > n {
+				deg = n
+			}
+			es = append(es, [2]int{i, i})
+			for t := 0; t < deg; t++ {
+				es = append(es, [2]int{i, rng.Intn(n)})
+			}
+		}
+		return matrix.NewSupport(n, es)
+	}
+	return graph.NewInstance(d, gen(), gen(), gen())
+}
+
 // Describe summarizes an instance for logs and tables.
 func Describe(inst *graph.Instance) string {
 	a, b, x := inst.Classify()
