@@ -13,6 +13,7 @@
 package lbmm_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -22,11 +23,13 @@ import (
 	"lbmm/internal/routing"
 
 	"lbmm/internal/algo"
+	"lbmm/internal/core"
 	"lbmm/internal/exper"
 	"lbmm/internal/graph"
 	"lbmm/internal/matrix"
 	"lbmm/internal/params"
 	"lbmm/internal/ring"
+	"lbmm/internal/service"
 	"lbmm/internal/workload"
 )
 
@@ -308,4 +311,60 @@ func BenchmarkPreparedMultiply(b *testing.B) {
 		rounds = res.Rounds
 	}
 	b.ReportMetric(float64(rounds), "model_rounds")
+}
+
+// BenchmarkServeCacheHit measures the serving layer's steady state: every
+// request after the first finds its prepared plan in the cache, so ns/op is
+// plan execution plus cache lookup (no planning).
+func BenchmarkServeCacheHit(b *testing.B) {
+	srv := service.NewServer(service.Config{CacheSize: 16})
+	ctx := context.Background()
+	r := ring.Counting{}
+	inst := workload.Blocks(64, 4)
+	a := matrix.Random(inst.Ahat, r, 1)
+	bm := matrix.Random(inst.Bhat, r, 2)
+	req := &service.MultiplyRequest{A: a, B: bm, Xhat: inst.Xhat, Options: core.Options{Ring: r}}
+	if _, err := srv.Multiply(ctx, req); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.Multiply(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.CacheHit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+	b.ReportMetric(float64(srv.Metrics()[service.MetricCacheHits]), "cache_hits")
+}
+
+// BenchmarkServeCacheMiss measures the cold path: a capacity-1 cache with
+// two alternating structures means every request misses, evicts, and pays a
+// full compilation.
+func BenchmarkServeCacheMiss(b *testing.B) {
+	srv := service.NewServer(service.Config{CacheSize: 1})
+	ctx := context.Background()
+	r := ring.Counting{}
+	insts := []*graph.Instance{workload.Blocks(64, 4), workload.BlocksShifted(64, 4)}
+	reqs := make([]*service.MultiplyRequest, len(insts))
+	for i, inst := range insts {
+		reqs[i] = &service.MultiplyRequest{
+			A:    matrix.Random(inst.Ahat, r, int64(2*i+1)),
+			B:    matrix.Random(inst.Bhat, r, int64(2*i+2)),
+			Xhat: inst.Xhat, Options: core.Options{Ring: r},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.Multiply(ctx, reqs[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.CacheHit {
+			b.Fatal("expected a cache miss")
+		}
+	}
+	b.ReportMetric(float64(srv.Metrics()[service.MetricCacheMisses]), "cache_misses")
 }

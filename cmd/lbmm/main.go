@@ -17,6 +17,9 @@
 //	lbmm demo [-n N] [-d D] one multiplication with a full report + timeline
 //	lbmm gen  [-n N] [-d D] -o PREFIX   write a generated instance to files
 //	lbmm solve -a A.mtx -b B.mtx -x XHAT.mtx [-o OUT.mtx]   solve from files
+//	lbmm serve [-addr :8080] [-cache N] [-workers N] [-queue N] [-deadline D]
+//	                        HTTP/JSON multiply server with a prepared-plan
+//	                        cache and admission control (docs/SERVICE.md)
 //	lbmm all [-full]        every table/figure in sequence
 package main
 
@@ -56,6 +59,11 @@ func main() {
 	wlName := fs.String("workload", "blocks", "trace: workload (blocks|mixed|us|hotpair|powerlaw)")
 	format := fs.String("format", "json", "trace: output format (json|csv|text)")
 	profile := fs.Bool("profile", false, "table1: record per-point phase breakdowns")
+	addr := fs.String("addr", ":8080", "serve: listen address")
+	cacheSize := fs.Int("cache", 0, "serve: max cached prepared plans (0 = default 128)")
+	workers := fs.Int("workers", 0, "serve: worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "serve: admission queue depth (0 = 4×workers)")
+	deadline := fs.Duration("deadline", 0, "serve: default per-request deadline (0 = 30s)")
 	_ = fs.Parse(os.Args[2:])
 
 	scale := exper.Quick
@@ -96,6 +104,8 @@ func main() {
 		err = runGen(*n, *d, *outPath)
 	case "solve":
 		err = runSolve(*aPath, *bPath, *xPath, *outPath, *ringName)
+	case "serve":
+		err = runServe(*addr, *cacheSize, *workers, *queue, *deadline)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return runTable1(scale, *profile) },
@@ -123,7 +133,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|all> [flags]`)
 }
 
 func runTable1(scale exper.Scale, profile bool) error {

@@ -116,14 +116,25 @@ func PrepareTheorem42(r ring.Semiring, inst *graph.Instance, opts Theorem42Opts)
 // realize (a subset of) the prepared supports: positions outside the known
 // structure are rejected, positions inside it but absent load as the ring
 // Zero (the supported model's "indicator" semantics, §2.1).
+//
+// Multiply is safe for concurrent use from multiple goroutines: every call
+// executes on its own fresh machine, and all prepared state (instance,
+// layout, planned batches, the Lemma 3.1 job) is read-only after Prepare.
 func (p *Prepared) Multiply(a, b *matrix.Sparse) (*matrix.Sparse, *Result, error) {
+	return p.MultiplyWith(a, b)
+}
+
+// MultiplyWith is Multiply with per-call machine options — the serving
+// layer's entry point for per-request tracing (lbm.WithTrace) without
+// touching shared prepared state.
+func (p *Prepared) MultiplyWith(a, b *matrix.Sparse, mopts ...lbm.Option) (*matrix.Sparse, *Result, error) {
 	if err := within(a.Support(), p.Inst.Ahat); err != nil {
 		return nil, nil, fmt.Errorf("algo: A %w", err)
 	}
 	if err := within(b.Support(), p.Inst.Bhat); err != nil {
 		return nil, nil, fmt.Errorf("algo: B %w", err)
 	}
-	m := lbm.New(p.Inst.N, p.R)
+	m := lbm.New(p.Inst.N, p.R, mopts...)
 	// Load every support position explicitly (absent value = ring Zero, per
 	// Sparse.Get), so the fixed plans find all their sources.
 	for i, row := range p.Inst.Ahat.Rows {
@@ -159,6 +170,10 @@ func (p *Prepared) Multiply(a, b *matrix.Sparse) (*matrix.Sparse, *Result, error
 	res.Rounds = res.Stats.Rounds
 	res.Phase1Rounds = phase1
 	res.Phase2Rounds = res.Rounds - phase1
+	res.Profile = m.Profile()
+	if tr := m.Trace(); tr != nil {
+		res.Timeline = tr.Timeline()
+	}
 	return got, &res, nil
 }
 

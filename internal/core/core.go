@@ -74,17 +74,7 @@ func Multiply(a, b *matrix.Sparse, xhat *matrix.Support, opts Options) (*matrix.
 	}
 	ahat := a.Support()
 	bhat := b.Support()
-	d := opts.D
-	if d == 0 {
-		for _, s := range []*matrix.Support{ahat, bhat, xhat} {
-			if need := (s.NNZ + s.N - 1) / s.N; need > d {
-				d = need
-			}
-		}
-		if d == 0 {
-			d = 1
-		}
-	}
+	d := ResolveD(opts.D, ahat, bhat, xhat)
 	inst := graph.NewInstance(d, ahat, bhat, xhat)
 	rep := &Report{D: d}
 	rep.Classes[0], rep.Classes[1], rep.Classes[2] = inst.Classify()

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+)
+
+// fingerprintDomain versions the fingerprint serialization itself: any
+// change to the byte layout below must bump it, so plans cached under the
+// old scheme can never be served for a key computed under the new one.
+const fingerprintDomain = "lbmm.fp.v1"
+
+// ResolveD returns the sparsity parameter Multiply and Prepare would use:
+// d itself when positive, otherwise the smallest d making every given
+// support average-sparse (⌈max nnz/n⌉, at least 1).
+func ResolveD(d int, supports ...*matrix.Support) int {
+	if d > 0 {
+		return d
+	}
+	for _, s := range supports {
+		if need := (s.NNZ + s.N - 1) / s.N; need > d {
+			d = need
+		}
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// Fingerprint canonically identifies a prepared multiplication: SHA-256
+// over a deterministic serialization of the three supports together with
+// everything else Prepare's output depends on — the ring, the requested
+// algorithm, and the *resolved* sparsity parameter (so D: 0 and an explicit
+// equal D produce the same key). Two structurally equal supports fingerprint
+// identically regardless of how their entry lists were ordered at
+// construction, because Support stores rows sorted.
+//
+// The fingerprint is the serving layer's cache key (content addressing):
+// equal fingerprints mean Prepare is guaranteed to produce an equivalent
+// plan, so a cached *Prepared may be reused for any value set realizing the
+// structure.
+func Fingerprint(ahat, bhat, xhat *matrix.Support, opts Options) (string, error) {
+	if ahat.N != bhat.N || ahat.N != xhat.N {
+		return "", fmt.Errorf("core: dimension mismatch %d/%d/%d", ahat.N, bhat.N, xhat.N)
+	}
+	r := opts.Ring
+	if r == nil {
+		r = ring.Real{}
+	}
+	alg := opts.Algorithm
+	if alg == "" {
+		alg = "auto"
+	}
+	d := ResolveD(opts.D, ahat, bhat, xhat)
+
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeStr(fingerprintDomain)
+	writeStr(r.Name())
+	writeStr(alg)
+	writeInt(int64(d))
+	writeInt(int64(ahat.N))
+	for _, s := range []*matrix.Support{ahat, bhat, xhat} {
+		writeInt(int64(s.NNZ))
+		for i, row := range s.Rows {
+			if len(row) == 0 {
+				continue
+			}
+			writeInt(int64(i))
+			writeInt(int64(len(row)))
+			for _, j := range row {
+				binary.LittleEndian.PutUint32(buf[:4], uint32(j))
+				h.Write(buf[:4])
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"lbmm/internal/algo"
 	"lbmm/internal/graph"
+	"lbmm/internal/lbm"
 	"lbmm/internal/matrix"
 	"lbmm/internal/ring"
 )
@@ -36,17 +37,7 @@ func Prepare(ahat, bhat, xhat *matrix.Support, opts Options) (*Prepared, error) 
 	if r == nil {
 		r = ring.Real{}
 	}
-	d := opts.D
-	if d == 0 {
-		for _, s := range []*matrix.Support{ahat, bhat, xhat} {
-			if need := (s.NNZ + s.N - 1) / s.N; need > d {
-				d = need
-			}
-		}
-		if d == 0 {
-			d = 1
-		}
-	}
+	d := ResolveD(opts.D, ahat, bhat, xhat)
 	inst := graph.NewInstance(d, ahat, bhat, xhat)
 	p := &Prepared{D: d}
 	p.Classes[0], p.Classes[1], p.Classes[2] = inst.Classify()
@@ -77,9 +68,21 @@ func Prepare(ahat, bhat, xhat *matrix.Support, opts Options) (*Prepared, error) 
 
 // Multiply executes the prepared plans on one value set. The values must
 // lie within the prepared structure; positions of the structure without a
-// value are ring zeros.
+// value are ring zeros. Multiply is safe for concurrent use: the prepared
+// plans are read-only and every call runs on a fresh machine.
 func (p *Prepared) Multiply(a, b *matrix.Sparse) (*matrix.Sparse, *Report, error) {
-	x, res, err := p.inner.Multiply(a, b)
+	return p.MultiplyTraced(a, b, false)
+}
+
+// MultiplyTraced is Multiply with an optional per-call execution profile
+// (Report.Profile / Report.Timeline), recorded without mutating the shared
+// prepared state — the serving layer uses it for per-request traces.
+func (p *Prepared) MultiplyTraced(a, b *matrix.Sparse, trace bool) (*matrix.Sparse, *Report, error) {
+	var mopts []lbm.Option
+	if trace {
+		mopts = append(mopts, lbm.WithTrace())
+	}
+	x, res, err := p.inner.MultiplyWith(a, b, mopts...)
 	if err != nil {
 		return nil, nil, err
 	}

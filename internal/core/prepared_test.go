@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// TestPreparedMultiplyConcurrent locks in the concurrency contract of
+// Prepared.Multiply: prepare once, then hammer the plan from many goroutines
+// with distinct value sets. Run under -race (the CI race job does), every
+// product must match the reference, and — the supported model's promise —
+// every execution of the one plan must cost the identical number of rounds.
+func TestPreparedMultiplyConcurrent(t *testing.T) {
+	r := ring.Counting{}
+	inst := workload.Blocks(32, 4)
+	prep, err := Prepare(inst.Ahat, inst.Bhat, inst.Xhat, Options{Ring: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perGoroutine = 3
+	rounds := make([]int, goroutines*perGoroutine)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < perGoroutine; k++ {
+				seed := int64(1 + 2*(g*perGoroutine+k))
+				a := matrix.Random(inst.Ahat, r, seed)
+				b := matrix.Random(inst.Bhat, r, seed+1)
+				x, rep, err := prep.Multiply(a, b)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				want := matrix.MulReference(a, b, inst.Xhat)
+				if !matrix.Equal(x, want) {
+					t.Errorf("goroutine %d: wrong product for seed %d", g, seed)
+					return
+				}
+				rounds[g*perGoroutine+k] = rep.Rounds
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, rd := range rounds {
+		if rd != rounds[0] {
+			t.Errorf("execution %d took %d rounds, execution 0 took %d — rounds must depend on structure only",
+				i, rd, rounds[0])
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lbmm/internal/core"
+	"lbmm/internal/matrix"
+	"lbmm/internal/obsv"
+	"lbmm/internal/ring"
+)
+
+// maxWireN bounds the declared dimension of HTTP requests: supports
+// allocate O(n) row slices before any entry is read, so an unauthenticated
+// request must not pick n freely.
+const maxWireN = 1 << 20
+
+// wireEntry is one value cell [i, j, value]; wirePos one support position
+// [i, j]. Indices are written as JSON numbers and must be integers in
+// [0, n).
+type (
+	wireEntry = [3]float64
+	wirePos   = [2]int
+)
+
+// wireMultiplyRequest is the body of POST /v1/multiply.
+type wireMultiplyRequest struct {
+	N         int         `json:"n"`
+	Ring      string      `json:"ring,omitempty"`      // boolean|counting|minplus|maxplus|gfp|real (default real)
+	Algorithm string      `json:"algorithm,omitempty"` // auto|theorem42|lemma31 (default auto)
+	D         int         `json:"d,omitempty"`
+	A         []wireEntry `json:"a"`
+	B         []wireEntry `json:"b"`
+	Xhat      []wirePos   `json:"xhat"`
+	Trace     bool        `json:"trace,omitempty"`
+}
+
+// wireMultiplyResponse is the body of a successful /v1/multiply.
+type wireMultiplyResponse struct {
+	X            []wireEntry  `json:"x"`
+	Rounds       int          `json:"rounds"`
+	Phase1Rounds int          `json:"phase1_rounds"`
+	Phase2Rounds int          `json:"phase2_rounds"`
+	Messages     int64        `json:"messages"`
+	PeakStore    int          `json:"peak_store"`
+	Algorithm    string       `json:"algorithm"`
+	Classes      [3]string    `json:"classes"`
+	Band         string       `json:"band"`
+	D            int          `json:"d"`
+	Fingerprint  string       `json:"fingerprint"`
+	Cache        string       `json:"cache"` // "hit" or "miss"
+	Profile      *obsv.Export `json:"profile,omitempty"`
+}
+
+// wirePrepareRequest is the body of POST /v1/prepare.
+type wirePrepareRequest struct {
+	N         int       `json:"n"`
+	Ring      string    `json:"ring,omitempty"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	D         int       `json:"d,omitempty"`
+	Ahat      []wirePos `json:"ahat"`
+	Bhat      []wirePos `json:"bhat"`
+	Xhat      []wirePos `json:"xhat"`
+}
+
+type wirePrepareResponse struct {
+	Fingerprint string    `json:"fingerprint"`
+	Cache       string    `json:"cache"`
+	Classes     [3]string `json:"classes"`
+	Band        string    `json:"band"`
+	D           int       `json:"d"`
+}
+
+// wireClassifyRequest is the body of POST /v1/classify.
+type wireClassifyRequest struct {
+	N    int       `json:"n"`
+	D    int       `json:"d,omitempty"`
+	Ahat []wirePos `json:"ahat"`
+	Bhat []wirePos `json:"bhat"`
+	Xhat []wirePos `json:"xhat"`
+}
+
+type wireClassifyResponse struct {
+	Classes [3]string `json:"classes"`
+	Band    string    `json:"band"`
+	D       int       `json:"d"`
+	Upper   string    `json:"upper"`
+	Lower   string    `json:"lower"`
+}
+
+type wireError struct {
+	Error string `json:"error"`
+}
+
+// NewHandler mounts the serving API onto a fresh mux:
+//
+//	POST /v1/multiply   multiply values through the plan cache
+//	POST /v1/prepare    warm the cache for a structure
+//	POST /v1/classify   Table 2 classification of a structure
+//	GET  /healthz       liveness
+//	GET  /metrics       JSON snapshot of every service counter
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/multiply", func(w http.ResponseWriter, r *http.Request) {
+		handleMultiply(s, w, r)
+	})
+	mux.HandleFunc("POST /v1/prepare", func(w http.ResponseWriter, r *http.Request) {
+		handlePrepare(s, w, r)
+	})
+	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		handleClassify(s, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	return mux
+}
+
+func handleMultiply(s *Server, w http.ResponseWriter, r *http.Request) {
+	var req wireMultiplyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ringSR, err := resolveRing(req.Ring)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	a, err := buildSparse(req.N, ringSR, req.A, "a")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	b, err := buildSparse(req.N, ringSR, req.B, "b")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	xhat, err := buildSupport(req.N, req.Xhat, "xhat")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Multiply(r.Context(), &MultiplyRequest{
+		A: a, B: b, Xhat: xhat,
+		Options: core.Options{Ring: ringSR, D: req.D, Algorithm: req.Algorithm},
+		Trace:   req.Trace,
+	})
+	if err != nil {
+		writeServeErr(w, err)
+		return
+	}
+	out := &wireMultiplyResponse{
+		X:            sparseEntries(resp.X),
+		Rounds:       resp.Report.Rounds,
+		Phase1Rounds: resp.Report.Phase1Rounds,
+		Phase2Rounds: resp.Report.Phase2Rounds,
+		Messages:     resp.Report.Stats.Messages,
+		PeakStore:    resp.Report.Stats.PeakStore,
+		Algorithm:    resp.Report.Name,
+		Classes:      classNames(resp.Report.Classes),
+		Band:         resp.Report.Band.String(),
+		D:            resp.Report.D,
+		Fingerprint:  resp.Fingerprint,
+		Cache:        cacheWord(resp.CacheHit),
+		Profile:      resp.Profile,
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handlePrepare(s *Server, w http.ResponseWriter, r *http.Request) {
+	var req wirePrepareRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ringSR, err := resolveRing(req.Ring)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	supports, err := buildSupports(req.N, req.Ahat, req.Bhat, req.Xhat)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Prepare(r.Context(), &PrepareRequest{
+		Ahat: supports[0], Bhat: supports[1], Xhat: supports[2],
+		Options: core.Options{Ring: ringSR, D: req.D, Algorithm: req.Algorithm},
+	})
+	if err != nil {
+		writeServeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &wirePrepareResponse{
+		Fingerprint: resp.Fingerprint,
+		Cache:       cacheWord(resp.CacheHit),
+		Classes:     classNames(resp.Classes),
+		Band:        resp.Band.String(),
+		D:           resp.D,
+	})
+}
+
+func handleClassify(s *Server, w http.ResponseWriter, r *http.Request) {
+	var req wireClassifyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	supports, err := buildSupports(req.N, req.Ahat, req.Bhat, req.Xhat)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Classify(r.Context(), &ClassifyRequest{
+		Ahat: supports[0], Bhat: supports[1], Xhat: supports[2], D: req.D,
+	})
+	if err != nil {
+		writeServeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &wireClassifyResponse{
+		Classes: classNames(resp.Classes),
+		Band:    resp.Band.String(),
+		D:       resp.D,
+		Upper:   resp.Upper,
+		Lower:   resp.Lower,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// wire helpers
+
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func resolveRing(name string) (ring.Semiring, error) {
+	if name == "" {
+		name = "real"
+	}
+	return matrix.RingByName(name)
+}
+
+func checkN(n int) error {
+	if n < 1 || n > maxWireN {
+		return fmt.Errorf("n must be in [1, %d], got %d", maxWireN, n)
+	}
+	return nil
+}
+
+func buildSparse(n int, r ring.Semiring, entries []wireEntry, what string) (*matrix.Sparse, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
+	}
+	m := matrix.NewSparse(n, r)
+	for _, e := range entries {
+		i, j := int(e[0]), int(e[1])
+		if float64(i) != e[0] || float64(j) != e[1] || i < 0 || i >= n || j < 0 || j >= n {
+			return nil, fmt.Errorf("%s: entry (%g,%g) is not a valid index pair for n=%d", what, e[0], e[1], n)
+		}
+		m.Set(i, j, e[2])
+	}
+	return m, nil
+}
+
+func buildSupport(n int, positions []wirePos, what string) (*matrix.Support, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
+	}
+	for _, p := range positions {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			return nil, fmt.Errorf("%s: position (%d,%d) out of range for n=%d", what, p[0], p[1], n)
+		}
+	}
+	return matrix.NewSupport(n, positions), nil
+}
+
+func buildSupports(n int, ahat, bhat, xhat []wirePos) ([3]*matrix.Support, error) {
+	var out [3]*matrix.Support
+	for idx, in := range []struct {
+		pos  []wirePos
+		what string
+	}{{ahat, "ahat"}, {bhat, "bhat"}, {xhat, "xhat"}} {
+		s, err := buildSupport(n, in.pos, in.what)
+		if err != nil {
+			return out, err
+		}
+		out[idx] = s
+	}
+	return out, nil
+}
+
+func sparseEntries(m *matrix.Sparse) []wireEntry {
+	out := make([]wireEntry, 0, m.NNZ())
+	for i, row := range m.Rows {
+		for _, c := range row {
+			out = append(out, wireEntry{float64(i), float64(c.Col), c.Val})
+		}
+	}
+	return out
+}
+
+func classNames(cs [3]matrix.Class) [3]string {
+	return [3]string{cs[0].String(), cs[1].String(), cs[2].String()}
+}
+
+func cacheWord(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, wireError{Error: err.Error()})
+}
+
+// writeServeErr maps server-side errors to status codes: load shedding is
+// 503 (retryable), deadline expiry 504, anything else 500.
+func writeServeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, err)
+	}
+}

@@ -1,0 +1,284 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"lbmm/internal/core"
+	"lbmm/internal/matrix"
+	"lbmm/internal/obsv"
+)
+
+// ErrOverloaded is returned (and mapped to HTTP 503) when the server sheds
+// a request because the admission queue is full. Callers should back off
+// and retry; the request was rejected before any work happened.
+var ErrOverloaded = errors.New("service: overloaded, request shed")
+
+// Config tunes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// CacheSize bounds the number of prepared plans kept (default 128).
+	CacheSize int
+	// Workers bounds concurrent plan executions (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// before new ones are shed with ErrOverloaded (default 4×Workers).
+	QueueDepth int
+	// Deadline caps a request's total time in the server — queue wait plus
+	// a pre-execution check — when the caller's context carries no earlier
+	// deadline (default 30s). Plan execution itself is not preempted; the
+	// deadline is admission control, not a watchdog.
+	Deadline time.Duration
+	// Metrics receives the service counters; a fresh set when nil.
+	Metrics *obsv.CounterSet
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obsv.NewCounterSet()
+	}
+	return c
+}
+
+// Counter names published by the server.
+const (
+	MetricRequests         = "serve/requests"
+	MetricServed           = "serve/served"
+	MetricShed             = "serve/shed"
+	MetricDeadlineExceeded = "serve/deadline_exceeded"
+	MetricErrors           = "serve/errors"
+	MetricQueueDepth       = "serve/queue_depth" // gauge
+	MetricActiveWorkers    = "serve/active"      // gauge
+)
+
+// Server serves multiplications from a prepared-plan cache behind a bounded
+// worker pool. All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	metrics *obsv.CounterSet
+	workers chan struct{}
+	queued  atomic.Int64
+	active  atomic.Int64
+}
+
+// NewServer builds a server from the config.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize, cfg.Metrics),
+		metrics: cfg.Metrics,
+		workers: make(chan struct{}, cfg.Workers),
+	}
+}
+
+// Cache exposes the server's plan cache (read-mostly introspection).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Metrics returns a snapshot of every service counter.
+func (s *Server) Metrics() map[string]int64 { return s.metrics.Snapshot() }
+
+// Config returns the resolved (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// admit applies admission control: it bounds the number of waiters, then
+// blocks until a worker slot frees or the deadline passes. On success the
+// returned release function must be called when the request finishes.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	s.metrics.Add(MetricRequests, 1)
+	if q := s.queued.Add(1); q > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.metrics.Add(MetricShed, 1)
+		return nil, ErrOverloaded
+	}
+	s.metrics.Set(MetricQueueDepth, s.queued.Load())
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		defer cancel()
+	}
+	select {
+	case s.workers <- struct{}{}:
+		s.queued.Add(-1)
+		s.metrics.Set(MetricQueueDepth, s.queued.Load())
+		s.metrics.Set(MetricActiveWorkers, s.active.Add(1))
+		return func() {
+			<-s.workers
+			s.metrics.Set(MetricActiveWorkers, s.active.Add(-1))
+		}, nil
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		s.metrics.Set(MetricQueueDepth, s.queued.Load())
+		s.metrics.Add(MetricDeadlineExceeded, 1)
+		return nil, ctx.Err()
+	}
+}
+
+// prepared resolves (or compiles and caches) the plan for the given
+// supports and options, returning the plan, its fingerprint, and whether it
+// was a cache hit.
+func (s *Server) prepared(ahat, bhat, xhat *matrix.Support, opts core.Options) (*core.Prepared, string, bool, error) {
+	fp, err := core.Fingerprint(ahat, bhat, xhat, opts)
+	if err != nil {
+		return nil, "", false, err
+	}
+	prep, hit, err := s.cache.Get(fp, func() (*core.Prepared, error) {
+		return core.Prepare(ahat, bhat, xhat, opts)
+	})
+	if err != nil {
+		return nil, fp, false, err
+	}
+	return prep, fp, hit, nil
+}
+
+// MultiplyRequest is one serving-layer multiplication: values A and B, the
+// output support of interest, and the plan options. The sparsity structure
+// of the request is (A.Support(), B.Support(), Xhat) — two requests share a
+// cached plan exactly when those structures, the ring, the algorithm and
+// the resolved d coincide.
+type MultiplyRequest struct {
+	A, B *matrix.Sparse
+	Xhat *matrix.Support
+	// Options: Ring, D and Algorithm select the plan as in core.Prepare
+	// ("auto", "theorem42" or "lemma31"; the execution-engine and
+	// verification fields are ignored by the serving layer).
+	Options core.Options
+	// Trace records a per-request execution profile into the response.
+	Trace bool
+}
+
+// MultiplyResponse carries the product and how it was served.
+type MultiplyResponse struct {
+	X           *matrix.Sparse
+	Report      *core.Report
+	Fingerprint string
+	// CacheHit reports whether a ready prepared plan existed on arrival.
+	CacheHit bool
+	// Profile is the lbmm.trace.v1 export of this execution when Trace was
+	// requested.
+	Profile *obsv.Export
+}
+
+// Multiply serves one multiplication: admission control, plan-cache lookup
+// (compiling on a miss), then execution of the prepared plan against the
+// request's values.
+func (s *Server) Multiply(ctx context.Context, req *MultiplyRequest) (*MultiplyResponse, error) {
+	if req.A == nil || req.B == nil || req.Xhat == nil {
+		return nil, fmt.Errorf("service: multiply needs A, B and Xhat")
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	prep, fp, hit, err := s.prepared(req.A.Support(), req.B.Support(), req.Xhat, req.Options)
+	if err != nil {
+		s.metrics.Add(MetricErrors, 1)
+		return nil, err
+	}
+	x, rep, err := prep.MultiplyTraced(req.A, req.B, req.Trace)
+	if err != nil {
+		s.metrics.Add(MetricErrors, 1)
+		return nil, err
+	}
+	resp := &MultiplyResponse{X: x, Report: rep, Fingerprint: fp, CacheHit: hit}
+	if req.Trace && rep.Profile != nil {
+		resp.Profile = rep.Profile.Export()
+	}
+	s.metrics.Add(MetricServed, 1)
+	return resp, nil
+}
+
+// PrepareRequest warms the cache for an explicit structure (no values).
+type PrepareRequest struct {
+	Ahat, Bhat, Xhat *matrix.Support
+	Options          core.Options
+}
+
+// PrepareResponse reports the cached plan's identity and classification.
+type PrepareResponse struct {
+	Fingerprint string
+	CacheHit    bool
+	Classes     [3]matrix.Class
+	Band        core.Band
+	D           int
+}
+
+// Prepare compiles (or finds) the plan for a structure so later Multiply
+// calls with matching values start hot.
+func (s *Server) Prepare(ctx context.Context, req *PrepareRequest) (*PrepareResponse, error) {
+	if req.Ahat == nil || req.Bhat == nil || req.Xhat == nil {
+		return nil, fmt.Errorf("service: prepare needs Ahat, Bhat and Xhat")
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	prep, fp, hit, err := s.prepared(req.Ahat, req.Bhat, req.Xhat, req.Options)
+	if err != nil {
+		s.metrics.Add(MetricErrors, 1)
+		return nil, err
+	}
+	s.metrics.Add(MetricServed, 1)
+	return &PrepareResponse{
+		Fingerprint: fp, CacheHit: hit,
+		Classes: prep.Classes, Band: prep.Band, D: prep.D,
+	}, nil
+}
+
+// ClassifyRequest asks for the Table 2 classification of a structure.
+type ClassifyRequest struct {
+	Ahat, Bhat, Xhat *matrix.Support
+	D                int
+}
+
+// ClassifyResponse is the classification with its Table 2 bounds.
+type ClassifyResponse struct {
+	Classes      [3]matrix.Class
+	Band         core.Band
+	D            int
+	Upper, Lower string
+}
+
+// Classify runs the classification engine. It goes through admission
+// control like every other request: class predicates (degeneracy orders in
+// particular) are support-sized work, not constant-time.
+func (s *Server) Classify(ctx context.Context, req *ClassifyRequest) (*ClassifyResponse, error) {
+	if req.Ahat == nil || req.Bhat == nil || req.Xhat == nil {
+		return nil, fmt.Errorf("service: classify needs Ahat, Bhat and Xhat")
+	}
+	if req.Ahat.N != req.Bhat.N || req.Ahat.N != req.Xhat.N {
+		return nil, fmt.Errorf("service: dimension mismatch %d/%d/%d", req.Ahat.N, req.Bhat.N, req.Xhat.N)
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	d := core.ResolveD(req.D, req.Ahat, req.Bhat, req.Xhat)
+	var classes [3]matrix.Class
+	classes[0] = req.Ahat.Classify(d)
+	classes[1] = req.Bhat.Classify(d)
+	classes[2] = req.Xhat.Classify(d)
+	band := core.Classify(classes[0], classes[1], classes[2])
+	up, lo := band.Bounds()
+	s.metrics.Add(MetricServed, 1)
+	return &ClassifyResponse{Classes: classes, Band: band, D: d, Upper: up, Lower: lo}, nil
+}

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lbmm/internal/core"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// TestServerMultiplyCacheHit is the serving layer's core promise: the first
+// request for a structure compiles, a second request with the same structure
+// but different values is a cache hit, returns the correct product, and —
+// because rounds depend on structure only — reports the identical round
+// count.
+func TestServerMultiplyCacheHit(t *testing.T) {
+	srv := NewServer(Config{CacheSize: 4})
+	ctx := context.Background()
+	r := ring.Counting{}
+	inst := workload.Blocks(32, 4)
+	opts := core.Options{Ring: r}
+
+	var resps [2]*MultiplyResponse
+	for i := range resps {
+		a := matrix.Random(inst.Ahat, r, int64(10*i+1))
+		b := matrix.Random(inst.Bhat, r, int64(10*i+2))
+		resp, err := srv.Multiply(ctx, &MultiplyRequest{A: a, B: b, Xhat: inst.Xhat, Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := matrix.MulReference(a, b, inst.Xhat); !matrix.Equal(resp.X, want) {
+			t.Fatalf("request %d: wrong product", i+1)
+		}
+		resps[i] = resp
+	}
+	if resps[0].CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if !resps[1].CacheHit {
+		t.Error("second request (same structure, new values) missed the cache")
+	}
+	if resps[0].Fingerprint != resps[1].Fingerprint {
+		t.Error("same structure produced different fingerprints")
+	}
+	if resps[0].Report.Rounds != resps[1].Report.Rounds {
+		t.Errorf("rounds differ across executions of one plan: %d vs %d",
+			resps[0].Report.Rounds, resps[1].Report.Rounds)
+	}
+	m := srv.Metrics()
+	if m[MetricCacheHits] != 1 || m[MetricCacheMisses] != 1 || m[MetricServed] != 2 {
+		t.Errorf("metrics = %v, want 1 hit / 1 miss / 2 served", m)
+	}
+}
+
+// TestServerPrepareWarms checks that warming via /v1/prepare makes the first
+// Multiply for that structure a hit, and that the trace flag yields a
+// per-request profile.
+func TestServerPrepareWarms(t *testing.T) {
+	srv := NewServer(Config{CacheSize: 4})
+	ctx := context.Background()
+	r := ring.Counting{}
+	inst := workload.Blocks(32, 4)
+	opts := core.Options{Ring: r}
+
+	prep, err := srv.Prepare(ctx, &PrepareRequest{Ahat: inst.Ahat, Bhat: inst.Bhat, Xhat: inst.Xhat, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.CacheHit {
+		t.Error("first prepare reported a hit")
+	}
+	if !srv.Cache().Contains(prep.Fingerprint) {
+		t.Fatal("prepare did not cache the plan")
+	}
+
+	a := matrix.Random(inst.Ahat, r, 1)
+	b := matrix.Random(inst.Bhat, r, 2)
+	resp, err := srv.Multiply(ctx, &MultiplyRequest{A: a, B: b, Xhat: inst.Xhat, Options: opts, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Error("multiply after prepare missed the cache")
+	}
+	if resp.Fingerprint != prep.Fingerprint {
+		t.Error("prepare and multiply disagree on the fingerprint")
+	}
+	if resp.Profile == nil {
+		t.Error("Trace: true returned no profile")
+	} else if resp.Profile.Rounds != resp.Report.Rounds {
+		t.Errorf("profile rounds %d != report rounds %d", resp.Profile.Rounds, resp.Report.Rounds)
+	}
+}
+
+// TestServerLoadShed fills the single worker and the admission queue, then
+// checks the next request is shed with ErrOverloaded before any work, and
+// that a queued request beyond its deadline times out.
+func TestServerLoadShed(t *testing.T) {
+	srv := NewServer(Config{Workers: 1, QueueDepth: 1, Deadline: time.Minute})
+	ctx := context.Background()
+
+	// Occupy the only worker.
+	release, err := srv.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the queue with one waiter.
+	waiterCtx, cancelWaiter := context.WithCancel(ctx)
+	waiterDone := make(chan error, 1)
+	go func() {
+		rel, err := srv.admit(waiterCtx)
+		if err == nil {
+			rel()
+		}
+		waiterDone <- err
+	}()
+	waitFor(t, func() bool { return srv.queued.Load() == 1 })
+
+	// Queue full: the public API sheds without touching the cache.
+	inst := workload.Blocks(16, 4)
+	_, err = srv.Classify(ctx, &ClassifyRequest{Ahat: inst.Ahat, Bhat: inst.Bhat, Xhat: inst.Xhat})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("classify with full queue: err = %v, want ErrOverloaded", err)
+	}
+	if m := srv.Metrics(); m[MetricShed] != 1 {
+		t.Errorf("shed counter = %d, want 1", m[MetricShed])
+	}
+
+	// A queued waiter whose context ends leaves the queue with its error.
+	cancelWaiter()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter: err = %v, want context.Canceled", err)
+	}
+	if m := srv.Metrics(); m[MetricDeadlineExceeded] != 1 {
+		t.Errorf("deadline counter = %d, want 1", m[MetricDeadlineExceeded])
+	}
+
+	// With the worker released, a short-deadline request that must queue
+	// behind a held worker times out with DeadlineExceeded.
+	shortCtx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := srv.admit(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("short-deadline admit: err = %v, want DeadlineExceeded", err)
+	}
+
+	release()
+	if rel, err := srv.admit(ctx); err != nil {
+		t.Errorf("admit after release: %v", err)
+	} else {
+		rel()
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
