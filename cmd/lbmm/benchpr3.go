@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lbmm/internal/core"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// runBenchPR3 measures the prepare-once/multiply-many serving shape on both
+// execution engines — the map-backed reference machine and the compiled
+// slot-addressed form — and writes the results as JSON (the benchmark smoke
+// artifact committed as BENCH_PR3.json).
+
+type benchEngine struct {
+	Engine        string  `json:"engine"`
+	Iters         int     `json:"iters"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	NsPerMultiply float64 `json:"ns_per_multiply"`
+}
+
+type benchCase struct {
+	Name      string        `json:"name"`
+	N         int           `json:"n"`
+	D         int           `json:"d"`
+	Algorithm string        `json:"algorithm"`
+	Ring      string        `json:"ring"`
+	Rounds    int           `json:"rounds"`
+	Engines   []benchEngine `json:"engines"`
+	// Speedup is map ns/op divided by compiled ns/op (>1 means the compiled
+	// engine is faster).
+	Speedup float64 `json:"speedup"`
+}
+
+type benchReport struct {
+	Schema    string      `json:"schema"`
+	GoVersion string      `json:"go_version"`
+	Cases     []benchCase `json:"cases"`
+}
+
+func runBenchPR3(n, d, iters int, outPath string) error {
+	if iters <= 0 {
+		iters = 50
+	}
+	type spec struct {
+		name string
+		alg  string
+		r    ring.Semiring
+	}
+	specs := []spec{
+		{"lemma31/counting", "lemma31", ring.Counting{}},
+		{"theorem42/real", "theorem42", ring.Real{}},
+		{"auto/minplus", "auto", ring.MinPlus{}},
+	}
+	report := benchReport{Schema: "lbmm.bench_pr3.v1", GoVersion: runtime.Version()}
+	for _, sp := range specs {
+		inst := workload.Instance(matrix.US, matrix.US, matrix.US, n, d, 42)
+		a := matrix.Random(inst.Ahat, sp.r, 1)
+		b := matrix.Random(inst.Bhat, sp.r, 2)
+		bc := benchCase{Name: sp.name, N: n, D: d, Algorithm: sp.alg, Ring: sp.r.Name()}
+		for _, engine := range []string{"map", "compiled"} {
+			prep, err := core.Prepare(inst.Ahat, inst.Bhat, inst.Xhat, core.Options{
+				Ring: sp.r, D: d, Algorithm: sp.alg, Engine: engine,
+			})
+			if err != nil {
+				return fmt.Errorf("%s: prepare: %w", sp.name, err)
+			}
+			// Warm up (pool fill, code paths hot) before timing.
+			for i := 0; i < 2; i++ {
+				if _, _, err := prep.Multiply(a, b); err != nil {
+					return fmt.Errorf("%s/%s: %w", sp.name, engine, err)
+				}
+			}
+			start := time.Now()
+			var rounds int
+			for i := 0; i < iters; i++ {
+				_, rep, err := prep.Multiply(a, b)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", sp.name, engine, err)
+				}
+				rounds = rep.Rounds
+			}
+			total := time.Since(start)
+			bc.Rounds = rounds
+			bc.Engines = append(bc.Engines, benchEngine{
+				Engine:        engine,
+				Iters:         iters,
+				TotalSeconds:  total.Seconds(),
+				NsPerMultiply: float64(total.Nanoseconds()) / float64(iters),
+			})
+		}
+		bc.Speedup = bc.Engines[0].NsPerMultiply / bc.Engines[1].NsPerMultiply
+		report.Cases = append(report.Cases, bc)
+		fmt.Printf("%-20s map %10.0f ns/op   compiled %10.0f ns/op   speedup %.2fx\n",
+			sp.name, bc.Engines[0].NsPerMultiply, bc.Engines[1].NsPerMultiply, bc.Speedup)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		outPath = "BENCH_PR3.json"
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

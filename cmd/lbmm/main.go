@@ -14,12 +14,16 @@
 //	lbmm json [-full]       every experiment's data as JSON
 //	lbmm trace [-n N] [-d D] [-alg NAME] [-workload NAME] [-format json|csv|text] [-o FILE]
 //	                        structured trace export (schema lbmm.trace.v1)
-//	lbmm demo [-n N] [-d D] one multiplication with a full report + timeline
+//	lbmm demo [-n N] [-d D] [-engine compiled|map]
+//	                        one multiplication with a full report + timeline
 //	lbmm gen  [-n N] [-d D] -o PREFIX   write a generated instance to files
 //	lbmm solve -a A.mtx -b B.mtx -x XHAT.mtx [-o OUT.mtx]   solve from files
-//	lbmm serve [-addr :8080] [-cache N] [-workers N] [-queue N] [-deadline D]
+//	lbmm serve [-addr :8080] [-cache N] [-cache-mb MB] [-workers N] [-queue N] [-deadline D]
 //	                        HTTP/JSON multiply server with a prepared-plan
 //	                        cache and admission control (docs/SERVICE.md)
+//	lbmm benchpr3 [-n N] [-d D] [-iters K] [-o BENCH_PR3.json]
+//	                        prepare-once/multiply-many benchmark of the map
+//	                        vs compiled execution engines
 //	lbmm all [-full]        every table/figure in sequence
 package main
 
@@ -61,9 +65,12 @@ func main() {
 	profile := fs.Bool("profile", false, "table1: record per-point phase breakdowns")
 	addr := fs.String("addr", ":8080", "serve: listen address")
 	cacheSize := fs.Int("cache", 0, "serve: max cached prepared plans (0 = default 128)")
+	cacheMB := fs.Int("cache-mb", 0, "serve: max total compiled size of cached plans in MiB (0 = unbounded)")
 	workers := fs.Int("workers", 0, "serve: worker pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "serve: admission queue depth (0 = 4×workers)")
 	deadline := fs.Duration("deadline", 0, "serve: default per-request deadline (0 = 30s)")
+	engine := fs.String("engine", "", "demo: execution engine (compiled|map; default compiled)")
+	iters := fs.Int("iters", 50, "benchpr3: multiplications per engine")
 	_ = fs.Parse(os.Args[2:])
 
 	scale := exper.Quick
@@ -99,13 +106,15 @@ func main() {
 			fmt.Println(string(data))
 		}
 	case "demo":
-		err = runDemo(*n, *d)
+		err = runDemo(*n, *d, *engine)
 	case "gen":
 		err = runGen(*n, *d, *outPath)
 	case "solve":
 		err = runSolve(*aPath, *bPath, *xPath, *outPath, *ringName)
 	case "serve":
-		err = runServe(*addr, *cacheSize, *workers, *queue, *deadline)
+		err = runServe(*addr, *cacheSize, *cacheMB, *workers, *queue, *deadline)
+	case "benchpr3":
+		err = runBenchPR3(*n, *d, *iters, *outPath)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return runTable1(scale, *profile) },
@@ -133,7 +142,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|benchpr3|all> [flags]`)
 }
 
 func runTable1(scale exper.Scale, profile bool) error {
@@ -274,17 +283,24 @@ func runTrace(n, d int, algName, wlName, format, outPath string) error {
 	}
 }
 
-func runDemo(n, d int) error {
+func runDemo(n, d int, engine string) error {
 	inst := workload.Instance(matrix.US, matrix.US, matrix.US, n, d, 42)
 	r := ring.Counting{}
 	a := matrix.Random(inst.Ahat, r, 1)
 	b := matrix.Random(inst.Bhat, r, 2)
 	fmt.Printf("demo: %s\n", workload.Describe(inst))
-	x, rep, err := core.Multiply(a, b, inst.Xhat, core.Options{Ring: r, D: d, Trace: true})
+	prep, err := core.Prepare(inst.Ahat, inst.Bhat, inst.Xhat, core.Options{Ring: r, D: d, Engine: engine})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("algorithm      %s\n", rep.Name)
+	x, rep, err := prep.MultiplyTraced(a, b, true)
+	if err != nil {
+		return err
+	}
+	if err := algo.Verify(x, a, b, inst.Xhat); err != nil {
+		return err
+	}
+	fmt.Printf("algorithm      %s (engine %s)\n", rep.Name, rep.Engine)
 	fmt.Printf("classes        [%v:%v:%v] → band %v\n", rep.Classes[0], rep.Classes[1], rep.Classes[2], rep.Band)
 	up, lo := rep.Band.Bounds()
 	fmt.Printf("bounds         upper %s, lower %s\n", up, lo)

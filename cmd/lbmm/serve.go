@@ -10,16 +10,17 @@ import (
 
 // runServe starts the HTTP serving layer: a prepared-plan cache with
 // admission control in front, speaking the JSON API of docs/SERVICE.md.
-func runServe(addr string, cacheSize, workers, queueDepth int, deadline time.Duration) error {
+func runServe(addr string, cacheSize, cacheMB, workers, queueDepth int, deadline time.Duration) error {
 	srv := service.NewServer(service.Config{
 		CacheSize:  cacheSize,
+		CacheBytes: int64(cacheMB) << 20,
 		Workers:    workers,
 		QueueDepth: queueDepth,
 		Deadline:   deadline,
 	})
 	cfg := srv.Config()
-	fmt.Printf("lbmm serve: listening on %s (cache %d plans, %d workers, queue %d, deadline %s)\n",
-		addr, cfg.CacheSize, cfg.Workers, cfg.QueueDepth, cfg.Deadline)
+	fmt.Printf("lbmm serve: listening on %s (cache %d plans / %d MiB, %d workers, queue %d, deadline %s)\n",
+		addr, cfg.CacheSize, cfg.CacheBytes>>20, cfg.Workers, cfg.QueueDepth, cfg.Deadline)
 	fmt.Printf("  POST /v1/multiply  POST /v1/prepare  POST /v1/classify  GET /healthz  GET /metrics\n")
 	return http.ListenAndServe(addr, service.NewHandler(srv))
 }

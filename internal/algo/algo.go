@@ -37,6 +37,9 @@ import (
 // Result summarizes one algorithm execution.
 type Result struct {
 	Name string
+	// Engine names the execution engine that produced the result ("map" or
+	// "compiled"); empty for algorithms without a prepared form.
+	Engine string
 	// Rounds is the total number of communication rounds.
 	Rounds int
 	// Phase1Rounds / Phase2Rounds split Theorem 4.2's budget (zero for

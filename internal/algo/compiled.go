@@ -1,0 +1,172 @@
+package algo
+
+import (
+	"fmt"
+	"sync"
+
+	"lbmm/internal/cluster"
+	"lbmm/internal/fewtri"
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+)
+
+// Engine selects the execution engine of a prepared multiplication.
+type Engine string
+
+const (
+	// EngineCompiled runs the slot-addressed compiled form (the default):
+	// value loading, every communication phase, the local products and the
+	// output collection all resolve to dense arena slots computed at Prepare
+	// time.
+	EngineCompiled Engine = "compiled"
+	// EngineMap runs the reference map-backed Machine — the differential
+	// oracle the compiled engine is tested against.
+	EngineMap Engine = "map"
+)
+
+// loadRef binds one matrix position (i, j) to its arena slot.
+type loadRef struct {
+	i, j int32
+	ref  lbm.SlotRef
+}
+
+// compiledPrepared is the compiled twin of a Prepared: the whole pipeline
+// — input loading, phase-1 batches, the staging sweep, the Lemma 3.1 job
+// and output collection — lowered against one shared SlotSpace, so Multiply
+// is a pure array program. Executors are recycled through a pool; in steady
+// state a multiplication allocates no store memory at all.
+type compiledPrepared struct {
+	sizes        []int32
+	loadA, loadB []loadRef
+	// x holds the output slots in Xhat row order: zero-initialized before
+	// the run, collected after it.
+	x            []loadRef
+	phase1       []*cluster.CompiledBatch
+	stagingClear []lbm.SlotRef
+	few          *fewtri.CompiledJob
+	bytes        int64
+	pool         sync.Pool
+}
+
+// compilePrepared lowers a Prepared into its compiled twin. The lowering
+// order mirrors execution order, so the occupancy analysis sees keys in the
+// same sequence the map engine would create them.
+func compilePrepared(p *Prepared) (*compiledPrepared, error) {
+	sp := lbm.NewSlotSpace(p.Inst.N)
+	cp := &compiledPrepared{}
+	for i, row := range p.Inst.Ahat.Rows {
+		for _, j := range row {
+			cp.loadA = append(cp.loadA, loadRef{i: int32(i), j: j,
+				ref: sp.Ref(p.Layout.OwnerA(int32(i), j), lbm.AKey(int32(i), j))})
+		}
+	}
+	for j, row := range p.Inst.Bhat.Rows {
+		for _, k := range row {
+			cp.loadB = append(cp.loadB, loadRef{i: int32(j), j: k,
+				ref: sp.Ref(p.Layout.OwnerB(int32(j), k), lbm.BKey(int32(j), k))})
+		}
+	}
+	for i, row := range p.Inst.Xhat.Rows {
+		for _, k := range row {
+			cp.x = append(cp.x, loadRef{i: int32(i), j: k,
+				ref: sp.Ref(p.Layout.OwnerX(int32(i), k), lbm.XKey(int32(i), k))})
+		}
+	}
+	for _, pb := range p.phase1 {
+		cb, err := pb.Compile(sp)
+		if err != nil {
+			return nil, err
+		}
+		cp.phase1 = append(cp.phase1, cb)
+	}
+	// The staging sweep: every vnet staging key the phase-1 plans can have
+	// created is known now (fewtri routes with plain keys only), so snapshot
+	// their slots — clearing an absent slot is a no-op, exactly like
+	// vnet.CleanupStaging deleting only present keys.
+	sp.EachKey(func(node lbm.NodeID, k lbm.Key, slot int32) {
+		if k.Kind == lbm.KStage {
+			cp.stagingClear = append(cp.stagingClear, lbm.SlotRef{Node: node, Slot: slot})
+		}
+	})
+	few, err := fewtri.Compile(sp, p.fewtri)
+	if err != nil {
+		return nil, err
+	}
+	cp.few = few
+	cp.sizes = sp.Sizes()
+	cp.bytes = int64(len(cp.loadA)+len(cp.loadB)+len(cp.x)) * 16
+	cp.bytes += int64(len(cp.stagingClear)) * 8
+	for _, cb := range cp.phase1 {
+		cp.bytes += cb.MemoryBytes()
+	}
+	cp.bytes += few.MemoryBytes()
+	for _, sz := range cp.sizes {
+		cp.bytes += int64(sz) * 12 // arena value + epoch stamp
+	}
+	r := p.R
+	sizes := cp.sizes
+	cp.pool.New = func() any { return lbm.NewExec(sizes, r) }
+	return cp, nil
+}
+
+// CompiledBytes reports the estimated resident size of the compiled form
+// (instruction streams, slot tables and one executor's arenas). Serving
+// caches use it as the memory cost of a cached Prepared.
+func (p *Prepared) CompiledBytes() int64 {
+	if p.compiled == nil {
+		return 0
+	}
+	return p.compiled.bytes
+}
+
+// multiplyCompiled is MultiplyWith on the compiled engine.
+func (p *Prepared) multiplyCompiled(a, b *matrix.Sparse, mopts ...lbm.Option) (*matrix.Sparse, *Result, error) {
+	cp := p.compiled
+	x := cp.pool.Get().(*lbm.Exec)
+	x.Configure(mopts...)
+	defer func() {
+		x.Reset()
+		cp.pool.Put(x)
+	}()
+	for _, lr := range cp.loadA {
+		x.PutSlot(lr.ref, a.Get(int(lr.i), int(lr.j)))
+	}
+	for _, lr := range cp.loadB {
+		x.PutSlot(lr.ref, b.Get(int(lr.i), int(lr.j)))
+	}
+	zero := p.R.Zero()
+	for _, lr := range cp.x {
+		x.PutSlot(lr.ref, zero)
+	}
+	for _, cb := range cp.phase1 {
+		if err := cb.Run(x); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, ref := range cp.stagingClear {
+		x.ClearSlot(ref)
+	}
+	phase1 := x.Rounds()
+	if err := fewtri.RunCompiled(x, cp.few); err != nil {
+		return nil, nil, err
+	}
+	out := matrix.NewSparse(p.Inst.Xhat.N, p.R)
+	for _, lr := range cp.x {
+		v, ok := x.GetSlot(lr.ref)
+		if !ok {
+			return nil, nil, fmt.Errorf("lbm: owner of X(%d,%d) never received it", lr.i, lr.j)
+		}
+		out.Set(int(lr.i), int(lr.j), v)
+	}
+	res := p.meta
+	res.Engine = string(EngineCompiled)
+	res.Stats = x.Stats()
+	res.Rounds = res.Stats.Rounds
+	res.Phase1Rounds = phase1
+	res.Phase2Rounds = res.Rounds - phase1
+	res.Profile = x.Profile()
+	if tr := x.Trace(); tr != nil {
+		res.Timeline = tr.Timeline()
+	}
+	return out, &res, nil
+}

@@ -27,9 +27,24 @@ type Prepared struct {
 	R      ring.Semiring
 	Name   string
 
-	phase1 []*cluster.PlannedBatch
-	fewtri *fewtri.Job
-	meta   Result
+	// Engine selects the execution engine for Multiply/MultiplyWith. The
+	// zero value runs the compiled engine; set EngineMap for the reference
+	// map-backed Machine.
+	Engine Engine
+
+	phase1   []*cluster.PlannedBatch
+	fewtri   *fewtri.Job
+	compiled *compiledPrepared
+	meta     Result
+}
+
+// engine resolves the effective engine: compiled by default, map when
+// requested (or when no compiled form exists).
+func (p *Prepared) engine() Engine {
+	if p.Engine == EngineMap || p.compiled == nil {
+		return EngineMap
+	}
+	return EngineCompiled
 }
 
 // PrepareLemma31 preprocesses the Lemma 3.1 (Theorems 5.3/5.11) algorithm.
@@ -40,11 +55,15 @@ func PrepareLemma31(r ring.Semiring, inst *graph.Instance) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{
+	p := &Prepared{
 		Inst: inst, Layout: l, R: r, Name: "lemma31",
 		fewtri: job,
 		meta:   Result{Name: "lemma31", Triangles: len(tris), Kappa: job.Kappa},
-	}, nil
+	}
+	if p.compiled, err = compilePrepared(p); err != nil {
+		return nil, fmt.Errorf("algo: compile: %w", err)
+	}
+	return p, nil
 }
 
 // PrepareTheorem42 preprocesses the two-phase algorithm: the full
@@ -109,6 +128,9 @@ func PrepareTheorem42(r ring.Semiring, inst *graph.Instance, opts Theorem42Opts)
 	}
 	p.fewtri = job
 	p.meta.Kappa = job.Kappa
+	if p.compiled, err = compilePrepared(p); err != nil {
+		return nil, fmt.Errorf("algo: compile: %w", err)
+	}
 	return p, nil
 }
 
@@ -134,6 +156,9 @@ func (p *Prepared) MultiplyWith(a, b *matrix.Sparse, mopts ...lbm.Option) (*matr
 	if err := within(b.Support(), p.Inst.Bhat); err != nil {
 		return nil, nil, fmt.Errorf("algo: B %w", err)
 	}
+	if p.engine() == EngineCompiled {
+		return p.multiplyCompiled(a, b, mopts...)
+	}
 	m := lbm.New(p.Inst.N, p.R, mopts...)
 	// Load every support position explicitly (absent value = ring Zero, per
 	// Sparse.Get), so the fixed plans find all their sources.
@@ -149,10 +174,9 @@ func (p *Prepared) MultiplyWith(a, b *matrix.Sparse, mopts ...lbm.Option) (*matr
 	}
 	lbm.ZeroOutputs(m, p.Layout, p.Inst.Xhat)
 
-	net := vnet.Roles(p.Inst.N)
 	before := 0
 	for _, pb := range p.phase1 {
-		if err := pb.Run(m, net); err != nil {
+		if err := pb.Run(m); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -166,6 +190,7 @@ func (p *Prepared) MultiplyWith(a, b *matrix.Sparse, mopts ...lbm.Option) (*matr
 		return nil, nil, err
 	}
 	res := p.meta
+	res.Engine = string(EngineMap)
 	res.Stats = m.Stats()
 	res.Rounds = res.Stats.Rounds
 	res.Phase1Rounds = phase1

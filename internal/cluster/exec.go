@@ -92,6 +92,8 @@ func pairSupports(a Assigned, n int) (sa, sb, sx *matrix.Support) {
 type PlannedBatch struct {
 	cubeJobs     []*dense.CubeJob
 	strassenJobs []*dense.StrassenJob
+	cubeProg     *dense.CubeProgram
+	strassenProg *dense.StrassenProgram
 	Stats        ExecStats
 }
 
@@ -130,18 +132,76 @@ func PlanBatch(net *vnet.Net, n int, l *lbm.Layout, batch Batch, field bool) (*P
 		pb.cubeJobs = append(pb.cubeJobs, job)
 		pb.Stats.CubeClusters++
 	}
+	// Lower the merged per-phase communication to real plans now: plans
+	// depend only on the support, so this is free preprocessing and Run does
+	// no vnet compilation.
+	var err error
+	if len(pb.strassenJobs) > 0 {
+		if pb.strassenProg, err = dense.PlanStrassenProgram(net, pb.strassenJobs); err != nil {
+			return nil, err
+		}
+	}
+	if len(pb.cubeJobs) > 0 {
+		if pb.cubeProg, err = dense.PlanCubeProgram(net, pb.cubeJobs); err != nil {
+			return nil, err
+		}
+	}
 	return pb, nil
 }
 
 // Run executes a planned batch. The two sub-batches run back to back.
-func (pb *PlannedBatch) Run(m *lbm.Machine, net *vnet.Net) error {
+func (pb *PlannedBatch) Run(m *lbm.Machine) error {
 	if len(pb.strassenJobs) > 0 {
-		if err := dense.RunStrassenJobs(m, net, pb.strassenJobs); err != nil {
+		if err := dense.RunStrassenJobsWith(m, pb.strassenJobs, pb.strassenProg); err != nil {
 			return err
 		}
 	}
 	if len(pb.cubeJobs) > 0 {
-		if err := dense.RunCubeJobs(m, net, pb.cubeJobs); err != nil {
+		if err := dense.RunCubeJobsWith(m, pb.cubeJobs, pb.cubeProg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompiledBatch is a planned batch lowered to the slot-addressed executable
+// form.
+type CompiledBatch struct {
+	strassen *dense.CompiledStrassenProgram
+	cube     *dense.CompiledCubeProgram
+}
+
+// Compile lowers a planned batch into the shared slot space.
+func (pb *PlannedBatch) Compile(sp *lbm.SlotSpace) (*CompiledBatch, error) {
+	cb := &CompiledBatch{}
+	var err error
+	if len(pb.strassenJobs) > 0 {
+		if cb.strassen, err = dense.CompileStrassenProgram(sp, pb.strassenJobs, pb.strassenProg); err != nil {
+			return nil, err
+		}
+	}
+	if len(pb.cubeJobs) > 0 {
+		if cb.cube, err = dense.CompileCubeProgram(sp, pb.cubeJobs, pb.cubeProg); err != nil {
+			return nil, err
+		}
+	}
+	return cb, nil
+}
+
+// MemoryBytes estimates the resident size of the compiled batch.
+func (cb *CompiledBatch) MemoryBytes() int64 {
+	return cb.strassen.MemoryBytes() + cb.cube.MemoryBytes()
+}
+
+// Run executes a compiled batch, mirroring PlannedBatch.Run.
+func (cb *CompiledBatch) Run(x *lbm.Exec) error {
+	if cb.strassen != nil {
+		if err := cb.strassen.Run(x); err != nil {
+			return err
+		}
+	}
+	if cb.cube != nil {
+		if err := cb.cube.Run(x); err != nil {
 			return err
 		}
 	}
@@ -170,7 +230,7 @@ func RunBatch(m *lbm.Machine, net *vnet.Net, n int, l *lbm.Layout, batch Batch) 
 		// 4.7's gain criterion in measurable form.
 		m.Counter("density", float64(batch.Size())/volume)
 	}
-	return pb.Stats, pb.Run(m, net)
+	return pb.Stats, pb.Run(m)
 }
 
 // RunBatches executes a sequence of clusterings and sweeps compiler staging

@@ -62,8 +62,27 @@ func Prepare(ahat, bhat, xhat *matrix.Support, opts Options) (*Prepared, error) 
 	if err != nil {
 		return nil, err
 	}
+	switch opts.Engine {
+	case "", string(algo.EngineCompiled):
+		inner.Engine = algo.EngineCompiled
+	case string(algo.EngineMap):
+		inner.Engine = algo.EngineMap
+	default:
+		return nil, fmt.Errorf("core: unknown engine %q (want %q or %q)", opts.Engine, algo.EngineCompiled, algo.EngineMap)
+	}
 	p.inner = inner
 	return p, nil
+}
+
+// CompiledBytes reports the estimated resident size of the prepared
+// multiplication's compiled form (instruction streams, slot tables and one
+// executor's arenas). Serving caches use it as the memory cost of a cached
+// entry.
+func (p *Prepared) CompiledBytes() int64 {
+	if p == nil || p.inner == nil {
+		return 0
+	}
+	return p.inner.CompiledBytes()
 }
 
 // Multiply executes the prepared plans on one value set. The values must

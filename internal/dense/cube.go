@@ -260,11 +260,18 @@ func permutedPositionMap(xs []int32, seed uint64) map[int32]int32 {
 	return m
 }
 
-// RunCubeJobs executes a batch of cube jobs concurrently: the jobs'
-// distribute plans are overlaid (they must use disjoint processors and
-// disjoint input rows — true for the disjoint clusters of one clustering),
-// then all local products run, then the overlaid aggregation plans.
-func RunCubeJobs(m *lbm.Machine, net *vnet.Net, jobs []*CubeJob) error {
+// CubeProgram is a batch of cube jobs with the merged distribute/aggregate
+// communication lowered to real plans once, at plan time. Before the
+// program form, RunCubeJobs re-ran the vnet compilation on every execution
+// — per-request work the supported model says is free preprocessing.
+type CubeProgram struct {
+	Dist, Agg *lbm.Plan
+}
+
+// PlanCubeProgram merges the jobs' virtual phases (they must use disjoint
+// processors and disjoint input rows — true for the disjoint clusters of
+// one clustering) and compiles them to real plans.
+func PlanCubeProgram(net *vnet.Net, jobs []*CubeJob) (*CubeProgram, error) {
 	var distPlans, aggPlans []*vnet.Plan
 	for _, j := range jobs {
 		if j.distribute != nil {
@@ -274,15 +281,36 @@ func RunCubeJobs(m *lbm.Machine, net *vnet.Net, jobs []*CubeJob) error {
 			aggPlans = append(aggPlans, j.aggregate)
 		}
 	}
+	dist, err := net.Compile(vnet.MergeParallel(distPlans...), routing.Auto)
+	if err != nil {
+		return nil, fmt.Errorf("dense: distribute: %w", err)
+	}
+	agg, err := net.Compile(vnet.MergeParallel(aggPlans...), routing.Auto)
+	if err != nil {
+		return nil, fmt.Errorf("dense: aggregate: %w", err)
+	}
+	return &CubeProgram{Dist: dist, Agg: agg}, nil
+}
+
+// RunCubeJobs executes a batch of cube jobs concurrently: the merged
+// distribute plan, then all local products, then the merged aggregation
+// plan.
+func RunCubeJobs(m *lbm.Machine, net *vnet.Net, jobs []*CubeJob) error {
+	prog, err := PlanCubeProgram(net, jobs)
+	if err != nil {
+		return err
+	}
+	return RunCubeJobsWith(m, jobs, prog)
+}
+
+// RunCubeJobsWith executes a batch of cube jobs against its preplanned
+// program.
+func RunCubeJobsWith(m *lbm.Machine, jobs []*CubeJob, prog *CubeProgram) error {
 	m.BeginPhase("dense/cube")
 	defer m.EndPhase()
 	m.Counter("jobs", float64(len(jobs)))
-	dist, err := net.Compile(vnet.MergeParallel(distPlans...), routing.Auto)
-	if err != nil {
-		return fmt.Errorf("dense: distribute: %w", err)
-	}
 	m.BeginPhase("distribute")
-	err = m.Run(dist)
+	err := m.Run(prog.Dist)
 	m.EndPhase()
 	if err != nil {
 		return fmt.Errorf("dense: distribute: %w", err)
@@ -294,12 +322,8 @@ func RunCubeJobs(m *lbm.Machine, net *vnet.Net, jobs []*CubeJob) error {
 			m.Acc(p.host, p.ds, m.R.Mul(av, bv))
 		}
 	}
-	agg, err := net.Compile(vnet.MergeParallel(aggPlans...), routing.Auto)
-	if err != nil {
-		return fmt.Errorf("dense: aggregate: %w", err)
-	}
 	m.BeginPhase("aggregate")
-	err = m.Run(agg)
+	err = m.Run(prog.Agg)
 	m.EndPhase()
 	if err != nil {
 		return fmt.Errorf("dense: aggregate: %w", err)
@@ -308,6 +332,87 @@ func RunCubeJobs(m *lbm.Machine, net *vnet.Net, jobs []*CubeJob) error {
 		for _, ck := range j.cleanup {
 			m.Del(ck.host, ck.key)
 		}
+	}
+	return nil
+}
+
+// slotProd is a local product lowered to arena addressing: dst += a*b.
+type slotProd struct {
+	a, b, dst lbm.SlotRef
+}
+
+// CompiledCubeProgram is a cube program lowered to the slot-addressed
+// executable form: compiled communication phases plus slot-resolved local
+// products and cleanup.
+type CompiledCubeProgram struct {
+	njobs     int
+	dist, agg *lbm.CompiledPlan
+	prods     []slotProd
+	cleanup   []lbm.SlotRef
+}
+
+// CompileCubeProgram lowers a cube program and its jobs' local work into
+// the shared slot space.
+func CompileCubeProgram(sp *lbm.SlotSpace, jobs []*CubeJob, prog *CubeProgram) (*CompiledCubeProgram, error) {
+	ccp := &CompiledCubeProgram{njobs: len(jobs)}
+	var err error
+	if ccp.dist, err = lbm.CompileInto(sp, prog.Dist); err != nil {
+		return nil, fmt.Errorf("dense: compile distribute: %w", err)
+	}
+	for _, j := range jobs {
+		for _, p := range j.prods {
+			ccp.prods = append(ccp.prods, slotProd{
+				a:   sp.Ref(p.host, p.a),
+				b:   sp.Ref(p.host, p.b),
+				dst: sp.Ref(p.host, p.ds),
+			})
+		}
+	}
+	if ccp.agg, err = lbm.CompileInto(sp, prog.Agg); err != nil {
+		return nil, fmt.Errorf("dense: compile aggregate: %w", err)
+	}
+	for _, j := range jobs {
+		for _, ck := range j.cleanup {
+			ccp.cleanup = append(ccp.cleanup, sp.Ref(ck.host, ck.key))
+		}
+	}
+	return ccp, nil
+}
+
+// MemoryBytes estimates the resident size of the compiled program.
+func (ccp *CompiledCubeProgram) MemoryBytes() int64 {
+	if ccp == nil {
+		return 0
+	}
+	return ccp.dist.MemoryBytes() + ccp.agg.MemoryBytes() +
+		int64(len(ccp.prods))*24 + int64(len(ccp.cleanup))*8
+}
+
+// Run executes the compiled cube program, mirroring RunCubeJobsWith phase
+// for phase.
+func (ccp *CompiledCubeProgram) Run(x *lbm.Exec) error {
+	x.BeginPhase("dense/cube")
+	defer x.EndPhase()
+	x.Counter("jobs", float64(ccp.njobs))
+	x.BeginPhase("distribute")
+	err := x.Run(ccp.dist)
+	x.EndPhase()
+	if err != nil {
+		return fmt.Errorf("dense: distribute: %w", err)
+	}
+	for _, p := range ccp.prods {
+		av := x.MustGetSlot(p.a)
+		bv := x.MustGetSlot(p.b)
+		x.AccSlot(p.dst, x.R.Mul(av, bv))
+	}
+	x.BeginPhase("aggregate")
+	err = x.Run(ccp.agg)
+	x.EndPhase()
+	if err != nil {
+		return fmt.Errorf("dense: aggregate: %w", err)
+	}
+	for _, ref := range ccp.cleanup {
+		x.ClearSlot(ref)
 	}
 	return nil
 }

@@ -479,14 +479,18 @@ func PlanStrassen(net *vnet.Net, spec *StrassenSpec) (*StrassenJob, error) {
 	return job, nil
 }
 
-// RunStrassenJobs executes a batch of Strassen jobs concurrently (their
-// processor sets and index rows must be disjoint). The machine's ring must
-// be a field.
-func RunStrassenJobs(m *lbm.Machine, net *vnet.Net, jobs []*StrassenJob) error {
-	if _, ok := ring.AsField(m.R); !ok {
-		return fmt.Errorf("dense: strassen requires a field, ring %s is not one", m.R.Name())
-	}
-	runPhase := func(pick func(*StrassenJob) *vnet.Plan, what string) error {
+// StrassenProgram is a batch of Strassen jobs with every per-level merged
+// communication phase lowered to a real plan once, at plan time (the jobs'
+// processor sets and index rows must be disjoint).
+type StrassenProgram struct {
+	Init, Final *lbm.Plan
+	Down, Up    []*lbm.Plan
+}
+
+// PlanStrassenProgram merges each phase of the jobs' virtual plans and
+// compiles them to real plans.
+func PlanStrassenProgram(net *vnet.Net, jobs []*StrassenJob) (*StrassenProgram, error) {
+	compilePhase := func(pick func(*StrassenJob) *vnet.Plan, what string) (*lbm.Plan, error) {
 		var plans []*vnet.Plan
 		for _, j := range jobs {
 			if p := pick(j); p != nil {
@@ -495,10 +499,79 @@ func RunStrassenJobs(m *lbm.Machine, net *vnet.Net, jobs []*StrassenJob) error {
 		}
 		real, err := net.Compile(vnet.MergeParallel(plans...), routing.Auto)
 		if err != nil {
-			return fmt.Errorf("dense: strassen %s: %w", what, err)
+			return nil, fmt.Errorf("dense: strassen %s: %w", what, err)
 		}
+		return real, nil
+	}
+	maxDown, maxUp := 0, 0
+	for _, j := range jobs {
+		if len(j.down) > maxDown {
+			maxDown = len(j.down)
+		}
+		if len(j.up) > maxUp {
+			maxUp = len(j.up)
+		}
+	}
+	prog := &StrassenProgram{}
+	var err error
+	if prog.Init, err = compilePhase(func(j *StrassenJob) *vnet.Plan { return j.init }, "init"); err != nil {
+		return nil, err
+	}
+	for l := 0; l < maxDown; l++ {
+		l := l
+		p, err := compilePhase(func(j *StrassenJob) *vnet.Plan {
+			if l < len(j.down) {
+				return j.down[l]
+			}
+			return nil
+		}, fmt.Sprintf("down.L%d", l+1))
+		if err != nil {
+			return nil, err
+		}
+		prog.Down = append(prog.Down, p)
+	}
+	for l := 0; l < maxUp; l++ {
+		l := l
+		p, err := compilePhase(func(j *StrassenJob) *vnet.Plan {
+			if l < len(j.up) {
+				return j.up[l]
+			}
+			return nil
+		}, fmt.Sprintf("up.L%d", maxUp-l))
+		if err != nil {
+			return nil, err
+		}
+		prog.Up = append(prog.Up, p)
+	}
+	if prog.Final, err = compilePhase(func(j *StrassenJob) *vnet.Plan { return j.final }, "final"); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// RunStrassenJobs executes a batch of Strassen jobs concurrently (their
+// processor sets and index rows must be disjoint). The machine's ring must
+// be a field.
+func RunStrassenJobs(m *lbm.Machine, net *vnet.Net, jobs []*StrassenJob) error {
+	if _, ok := ring.AsField(m.R); !ok {
+		return fmt.Errorf("dense: strassen requires a field, ring %s is not one", m.R.Name())
+	}
+	prog, err := PlanStrassenProgram(net, jobs)
+	if err != nil {
+		return err
+	}
+	return RunStrassenJobsWith(m, jobs, prog)
+}
+
+// RunStrassenJobsWith executes a batch of Strassen jobs against the
+// preplanned program of their merged communication phases.
+func RunStrassenJobsWith(m *lbm.Machine, jobs []*StrassenJob, prog *StrassenProgram) error {
+	if _, ok := ring.AsField(m.R); !ok {
+		return fmt.Errorf("dense: strassen requires a field, ring %s is not one", m.R.Name())
+	}
+	runPhase := func(p *lbm.Plan, what string) error {
 		m.BeginPhase(what)
-		err = m.Run(real)
+		err := m.Run(p)
 		m.EndPhase()
 		if err != nil {
 			return fmt.Errorf("dense: strassen %s: %w", what, err)
@@ -506,29 +579,17 @@ func RunStrassenJobs(m *lbm.Machine, net *vnet.Net, jobs []*StrassenJob) error {
 		return nil
 	}
 
-	maxDown := 0
-	for _, j := range jobs {
-		if len(j.down) > maxDown {
-			maxDown = len(j.down)
-		}
-	}
 	m.BeginPhase("dense/strassen")
 	defer m.EndPhase()
 	m.Counter("jobs", float64(len(jobs)))
-	// maxDown is the recursion depth k: each level transition is one down
-	// (and later one up) phase, labelled with its level.
-	m.Counter("levels", float64(maxDown))
-	if err := runPhase(func(j *StrassenJob) *vnet.Plan { return j.init }, "init"); err != nil {
+	// len(prog.Down) is the recursion depth k: each level transition is one
+	// down (and later one up) phase, labelled with its level.
+	m.Counter("levels", float64(len(prog.Down)))
+	if err := runPhase(prog.Init, "init"); err != nil {
 		return err
 	}
-	for l := 0; l < maxDown; l++ {
-		l := l
-		if err := runPhase(func(j *StrassenJob) *vnet.Plan {
-			if l < len(j.down) {
-				return j.down[l]
-			}
-			return nil
-		}, fmt.Sprintf("down.L%d", l+1)); err != nil {
+	for l, p := range prog.Down {
+		if err := runPhase(p, fmt.Sprintf("down.L%d", l+1)); err != nil {
 			return err
 		}
 	}
@@ -542,24 +603,13 @@ func RunStrassenJobs(m *lbm.Machine, net *vnet.Net, jobs []*StrassenJob) error {
 		}
 	}
 	m.EndPhase()
-	maxUp := 0
-	for _, j := range jobs {
-		if len(j.up) > maxUp {
-			maxUp = len(j.up)
-		}
-	}
-	for l := 0; l < maxUp; l++ {
-		l := l
-		if err := runPhase(func(j *StrassenJob) *vnet.Plan {
-			if l < len(j.up) {
-				return j.up[l]
-			}
-			return nil
-		}, fmt.Sprintf("up.L%d", maxUp-l)); err != nil {
+	maxUp := len(prog.Up)
+	for l, p := range prog.Up {
+		if err := runPhase(p, fmt.Sprintf("up.L%d", maxUp-l)); err != nil {
 			return err
 		}
 	}
-	if err := runPhase(func(j *StrassenJob) *vnet.Plan { return j.final }, "final"); err != nil {
+	if err := runPhase(prog.Final, "final"); err != nil {
 		return err
 	}
 	for _, j := range jobs {
@@ -568,6 +618,184 @@ func RunStrassenJobs(m *lbm.Machine, net *vnet.Net, jobs []*StrassenJob) error {
 		}
 	}
 	return nil
+}
+
+// compiledLeaf is a leaf product task lowered to arena addressing: per
+// flattened element a slot index at the host, or -1 for a structurally
+// absent element.
+type compiledLeaf struct {
+	host    lbm.NodeID
+	size    int32
+	a, b, c []int32
+}
+
+// CompiledStrassenProgram is a Strassen program lowered to the
+// slot-addressed executable form.
+type CompiledStrassenProgram struct {
+	njobs       int
+	init, final *lbm.CompiledPlan
+	down, up    []*lbm.CompiledPlan
+	// leafJobs keeps the per-job grouping so counter replay matches the map
+	// engine's one Counter("leaf_products") per job.
+	leafJobs [][]compiledLeaf
+	cleanup  []lbm.SlotRef
+}
+
+// CompileStrassenProgram lowers a Strassen program and its jobs' local work
+// into the shared slot space.
+func CompileStrassenProgram(sp *lbm.SlotSpace, jobs []*StrassenJob, prog *StrassenProgram) (*CompiledStrassenProgram, error) {
+	csp := &CompiledStrassenProgram{njobs: len(jobs)}
+	var err error
+	if csp.init, err = lbm.CompileInto(sp, prog.Init); err != nil {
+		return nil, fmt.Errorf("dense: compile strassen init: %w", err)
+	}
+	for l, p := range prog.Down {
+		cp, err := lbm.CompileInto(sp, p)
+		if err != nil {
+			return nil, fmt.Errorf("dense: compile strassen down.L%d: %w", l+1, err)
+		}
+		csp.down = append(csp.down, cp)
+	}
+	for _, j := range jobs {
+		leafs := make([]compiledLeaf, 0, len(j.leafs))
+		for _, lt := range j.leafs {
+			cl := compiledLeaf{host: lt.host, size: lt.size}
+			cl.a = make([]int32, lt.size*lt.size)
+			cl.b = make([]int32, lt.size*lt.size)
+			cl.c = make([]int32, lt.size*lt.size)
+			for u := int32(0); u < lt.size; u++ {
+				for v := int32(0); v < lt.size; v++ {
+					i := u*lt.size + v
+					cl.a[i], cl.b[i], cl.c[i] = -1, -1, -1
+					if lt.presA[i] {
+						cl.a[i] = sp.Slot(lt.host, elemKey(kindA(lt.lvl), u, v, lt.s))
+					}
+					if lt.presB[i] {
+						cl.b[i] = sp.Slot(lt.host, elemKey(kindB(lt.lvl), u, v, lt.s))
+					}
+					if lt.presC[i] {
+						cl.c[i] = sp.Slot(lt.host, elemKey(kindC(lt.lvl), u, v, lt.s))
+					}
+				}
+			}
+			leafs = append(leafs, cl)
+		}
+		csp.leafJobs = append(csp.leafJobs, leafs)
+	}
+	for l, p := range prog.Up {
+		cp, err := lbm.CompileInto(sp, p)
+		if err != nil {
+			return nil, fmt.Errorf("dense: compile strassen up.L%d: %w", len(prog.Up)-l, err)
+		}
+		csp.up = append(csp.up, cp)
+	}
+	if csp.final, err = lbm.CompileInto(sp, prog.Final); err != nil {
+		return nil, fmt.Errorf("dense: compile strassen final: %w", err)
+	}
+	for _, j := range jobs {
+		for _, ck := range j.cleanup {
+			csp.cleanup = append(csp.cleanup, sp.Ref(ck.host, ck.key))
+		}
+	}
+	return csp, nil
+}
+
+// MemoryBytes estimates the resident size of the compiled program.
+func (csp *CompiledStrassenProgram) MemoryBytes() int64 {
+	if csp == nil {
+		return 0
+	}
+	n := csp.init.MemoryBytes() + csp.final.MemoryBytes()
+	for _, cp := range csp.down {
+		n += cp.MemoryBytes()
+	}
+	for _, cp := range csp.up {
+		n += cp.MemoryBytes()
+	}
+	for _, leafs := range csp.leafJobs {
+		for _, cl := range leafs {
+			n += int64(len(cl.a)+len(cl.b)+len(cl.c)) * 4
+		}
+	}
+	return n + int64(len(csp.cleanup))*8
+}
+
+// Run executes the compiled Strassen program, mirroring RunStrassenJobsWith
+// phase for phase.
+func (csp *CompiledStrassenProgram) Run(x *lbm.Exec) error {
+	f, ok := ring.AsField(x.R)
+	if !ok {
+		return fmt.Errorf("dense: strassen requires a field, ring %s is not one", x.R.Name())
+	}
+	runPhase := func(cp *lbm.CompiledPlan, what string) error {
+		x.BeginPhase(what)
+		err := x.Run(cp)
+		x.EndPhase()
+		if err != nil {
+			return fmt.Errorf("dense: strassen %s: %w", what, err)
+		}
+		return nil
+	}
+
+	x.BeginPhase("dense/strassen")
+	defer x.EndPhase()
+	x.Counter("jobs", float64(csp.njobs))
+	x.Counter("levels", float64(len(csp.down)))
+	if err := runPhase(csp.init, "init"); err != nil {
+		return err
+	}
+	for l, cp := range csp.down {
+		if err := runPhase(cp, fmt.Sprintf("down.L%d", l+1)); err != nil {
+			return err
+		}
+	}
+	x.BeginPhase("leaf")
+	for _, leafs := range csp.leafJobs {
+		x.Counter("leaf_products", float64(len(leafs)))
+		for _, cl := range leafs {
+			runCompiledLeaf(x, f, cl)
+		}
+	}
+	x.EndPhase()
+	maxUp := len(csp.up)
+	for l, cp := range csp.up {
+		if err := runPhase(cp, fmt.Sprintf("up.L%d", maxUp-l)); err != nil {
+			return err
+		}
+	}
+	if err := runPhase(csp.final, "final"); err != nil {
+		return err
+	}
+	for _, ref := range csp.cleanup {
+		x.ClearSlot(ref)
+	}
+	return nil
+}
+
+// runCompiledLeaf multiplies one leaf subproblem locally at its host,
+// reading and writing arena slots instead of map keys.
+func runCompiledLeaf(x *lbm.Exec, f ring.Field, cl compiledLeaf) {
+	size := cl.size
+	a := make([]ring.Value, size*size)
+	b := make([]ring.Value, size*size)
+	for i := range a {
+		if cl.a[i] >= 0 {
+			if v, ok := x.GetSlot(lbm.SlotRef{Node: cl.host, Slot: cl.a[i]}); ok {
+				a[i] = v
+			}
+		}
+		if cl.b[i] >= 0 {
+			if v, ok := x.GetSlot(lbm.SlotRef{Node: cl.host, Slot: cl.b[i]}); ok {
+				b[i] = v
+			}
+		}
+	}
+	c := LocalMul(f, a, b, int(size))
+	for i := range c {
+		if cl.c[i] >= 0 {
+			x.PutSlot(lbm.SlotRef{Node: cl.host, Slot: cl.c[i]}, c[i])
+		}
+	}
 }
 
 // runLeaf multiplies one leaf subproblem locally at its host. Local

@@ -402,6 +402,133 @@ func Run(m *lbm.Machine, job *Job) error {
 	return nil
 }
 
+// compiledProd is one triangle product lowered to arena addressing:
+// dst += a*b.
+type compiledProd struct {
+	a, b, dst lbm.SlotRef
+}
+
+// CompiledJob is a Job lowered to the slot-addressed executable form.
+type CompiledJob struct {
+	kappa        int
+	virtualNodes int
+	plans        []*lbm.CompiledPlan
+	// prods keeps the per-virtual-computer grouping so counter replay
+	// matches the map engine's one Counter("triangles") per group.
+	prods   [][]compiledProd
+	cleanup []lbm.SlotRef
+}
+
+// Compile lowers a job into the shared slot space.
+func Compile(sp *lbm.SlotSpace, job *Job) (*CompiledJob, error) {
+	cj := &CompiledJob{kappa: job.Kappa, virtualNodes: job.VirtualNodes}
+	if len(job.plans) == 0 {
+		return cj, nil
+	}
+	if len(job.plans) != 9 {
+		return nil, fmt.Errorf("fewtri: internal error: %d plans", len(job.plans))
+	}
+	for i, p := range job.plans[:6] {
+		cp, err := lbm.CompileInto(sp, p)
+		if err != nil {
+			return nil, fmt.Errorf("fewtri: compile input plan %d: %w", i, err)
+		}
+		cj.plans = append(cj.plans, cp)
+	}
+	for _, pg := range job.products {
+		prods := make([]compiledProd, 0, len(pg.tris))
+		for _, t := range pg.tris {
+			prods = append(prods, compiledProd{
+				a:   sp.Ref(pg.host, lbm.AKey(t.I, t.J)),
+				b:   sp.Ref(pg.host, lbm.BKey(t.J, t.K)),
+				dst: sp.Ref(pg.host, lbm.PKey(t.I, t.K, pg.vid)),
+			})
+		}
+		cj.prods = append(cj.prods, prods)
+	}
+	for i, p := range job.plans[6:] {
+		cp, err := lbm.CompileInto(sp, p)
+		if err != nil {
+			return nil, fmt.Errorf("fewtri: compile output plan %d: %w", 6+i, err)
+		}
+		cj.plans = append(cj.plans, cp)
+	}
+	for _, ck := range job.cleanup {
+		cj.cleanup = append(cj.cleanup, sp.Ref(ck.host, ck.key))
+	}
+	return cj, nil
+}
+
+// MemoryBytes estimates the resident size of the compiled job.
+func (cj *CompiledJob) MemoryBytes() int64 {
+	if cj == nil {
+		return 0
+	}
+	var n int64
+	for _, cp := range cj.plans {
+		n += cp.MemoryBytes()
+	}
+	for _, prods := range cj.prods {
+		n += int64(len(prods)) * 24
+	}
+	return n + int64(len(cj.cleanup))*8
+}
+
+// RunCompiled executes a compiled job, mirroring Run phase for phase.
+func RunCompiled(x *lbm.Exec, cj *CompiledJob) error {
+	if len(cj.plans) == 0 {
+		return nil
+	}
+	labels := [9]string{
+		"lemma31:A anchor", "lemma31:A spread", "lemma31:A forward",
+		"lemma31:B anchor", "lemma31:B spread", "lemma31:B forward",
+		"lemma31:out route", "lemma31:out reduce", "lemma31:out deliver",
+	}
+	phases := [9]string{
+		"A/anchor", "A/spread", "A/forward",
+		"B/anchor", "B/spread", "B/forward",
+		"out/route", "out/aggregate", "out/deliver",
+	}
+	x.BeginPhase("lemma31")
+	defer x.EndPhase()
+	x.Counter("kappa", float64(cj.kappa))
+	x.Counter("virtual_nodes", float64(cj.virtualNodes))
+	runStep := func(i int, cp *lbm.CompiledPlan, what string) error {
+		x.Mark(labels[i])
+		x.BeginPhase(phases[i])
+		err := x.Run(cp)
+		x.EndPhase()
+		if err != nil {
+			return fmt.Errorf("fewtri %s routing: %w", what, err)
+		}
+		return nil
+	}
+	for i, cp := range cj.plans[:6] {
+		if err := runStep(i, cp, "input"); err != nil {
+			return err
+		}
+	}
+	x.BeginPhase("products")
+	for _, prods := range cj.prods {
+		x.Counter("triangles", float64(len(prods)))
+		for _, p := range prods {
+			av := x.MustGetSlot(p.a)
+			bv := x.MustGetSlot(p.b)
+			x.AccSlot(p.dst, x.R.Mul(av, bv))
+		}
+	}
+	x.EndPhase()
+	for i, cp := range cj.plans[6:] {
+		if err := runStep(6+i, cp, "output"); err != nil {
+			return err
+		}
+	}
+	for _, ref := range cj.cleanup {
+		x.ClearSlot(ref)
+	}
+	return nil
+}
+
 // Process is the convenience wrapper: plan and run in one call.
 func Process(m *lbm.Machine, n int, l *lbm.Layout, tris []graph.Triangle, kappa int) (*Job, error) {
 	job, err := Plan(n, l, tris, kappa)

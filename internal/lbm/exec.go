@@ -1,0 +1,479 @@
+package lbm
+
+import (
+	"fmt"
+	"sync"
+
+	"lbmm/internal/obsv"
+	"lbmm/internal/ring"
+)
+
+// Exec is the compiled engine: the run-time counterpart of CompiledPlan.
+// Where Machine resolves every Send through per-node map[Key]ring.Value
+// lookups, Exec holds one dense []ring.Value arena per node and executes
+// the flat instruction stream with array indexing only — no hashing, no
+// per-delivery allocation. Presence (a store "holding" a value) is tracked
+// with per-slot epoch stamps, so Reset is O(1) bookkeeping plus stat
+// clearing rather than an arena sweep, which is what makes pooled reuse by
+// the serving layer allocation-free in steady state.
+//
+// Exec mirrors the Machine's accounting exactly: the same Stats fields, the
+// same collector events, the same phase-span replay (via the shared
+// runWithSpans walk) and the same StoreLimit semantics. The map engine
+// stays the reference oracle; the differential tests in internal/algo hold
+// the two to identical outputs and identical Stats.
+type Exec struct {
+	N int
+	R ring.Semiring
+	// Workers, ParBatch and StoreLimit have Machine's semantics.
+	Workers    int
+	ParBatch   int
+	StoreLimit int
+
+	field     ring.Field
+	collector obsv.Collector
+
+	arena [][]ring.Value
+	stamp [][]uint32 // slot present iff stamp == epoch
+	epoch uint32
+	live  []int32 // per-node count of present slots (the map engine's len(store))
+
+	stats   Stats
+	payload []ring.Value // gather scratch, reused across rounds
+}
+
+// NewExec returns an executor with the given per-node arena sizes over ring
+// r. Machine options (WithWorkers, WithStoreLimit, WithCollector,
+// WithTrace) apply with identical meaning.
+func NewExec(sizes []int32, r ring.Semiring, opts ...Option) *Exec {
+	var probe Machine
+	probe.ParBatch = 4096
+	for _, o := range opts {
+		o(&probe)
+	}
+	x := &Exec{
+		N:          len(sizes),
+		R:          r,
+		Workers:    probe.Workers,
+		ParBatch:   probe.ParBatch,
+		StoreLimit: probe.StoreLimit,
+		collector:  probe.collector,
+		arena:      make([][]ring.Value, len(sizes)),
+		stamp:      make([][]uint32, len(sizes)),
+		epoch:      1,
+		live:       make([]int32, len(sizes)),
+	}
+	for i, sz := range sizes {
+		x.arena[i] = make([]ring.Value, sz)
+		x.stamp[i] = make([]uint32, sz)
+	}
+	if f, ok := ring.AsField(r); ok {
+		x.field = f
+	}
+	x.stats.SendLoad = make([]int64, len(sizes))
+	x.stats.RecvLoad = make([]int64, len(sizes))
+	return x
+}
+
+// Configure re-applies Machine options to a (typically pooled) executor
+// before a run. Unspecified options revert to their New defaults, so a
+// recycled executor behaves exactly like a fresh one.
+func (x *Exec) Configure(opts ...Option) {
+	var probe Machine
+	probe.ParBatch = 4096
+	for _, o := range opts {
+		o(&probe)
+	}
+	x.Workers = probe.Workers
+	x.ParBatch = probe.ParBatch
+	x.StoreLimit = probe.StoreLimit
+	x.collector = probe.collector
+}
+
+// SetCollector attaches (or, with nil, detaches) a collector.
+func (x *Exec) SetCollector(c obsv.Collector) { x.collector = c }
+
+// Collector returns the attached collector, or nil.
+func (x *Exec) Collector() obsv.Collector { return x.collector }
+
+// Profile returns the attached collector as an *obsv.Profile when it is
+// one, mirroring Machine.Profile.
+func (x *Exec) Profile() *obsv.Profile {
+	if p, ok := x.collector.(*obsv.Profile); ok {
+		return p
+	}
+	return nil
+}
+
+// Trace returns a snapshot of the recorded trace, or nil when no profile
+// collector is attached (mirrors Machine.Trace).
+func (x *Exec) Trace() *Trace {
+	p := x.Profile()
+	if p == nil {
+		return nil
+	}
+	tr := &Trace{PerRound: p.PerRoundMessages(), Marks: map[int][]string{}}
+	for _, mk := range p.Marks() {
+		tr.Marks[mk.Round] = append(tr.Marks[mk.Round], mk.Labels...)
+	}
+	return tr
+}
+
+// BeginPhase opens a nested phase span on the collector.
+func (x *Exec) BeginPhase(label string) {
+	if x.collector != nil {
+		x.collector.BeginPhase(label)
+	}
+}
+
+// EndPhase closes the innermost open phase span.
+func (x *Exec) EndPhase() {
+	if x.collector != nil {
+		x.collector.EndPhase()
+	}
+}
+
+// Counter adds delta to a named metric on the current phase span.
+func (x *Exec) Counter(name string, delta float64) {
+	if x.collector != nil {
+		x.collector.Counter(name, delta)
+	}
+}
+
+// Mark annotates the round timeline with a flat phase label.
+func (x *Exec) Mark(label string) {
+	if x.collector != nil {
+		x.collector.Mark(label)
+	}
+}
+
+// Stats returns a snapshot of the execution statistics so far.
+func (x *Exec) Stats() Stats {
+	s := x.stats
+	s.SendLoad = append([]int64(nil), x.stats.SendLoad...)
+	s.RecvLoad = append([]int64(nil), x.stats.RecvLoad...)
+	return s
+}
+
+// Rounds returns the number of counted rounds executed so far.
+func (x *Exec) Rounds() int { return x.stats.Rounds }
+
+// StoreLen returns the number of values currently held by node.
+func (x *Exec) StoreLen(node NodeID) int { return int(x.live[node]) }
+
+// present reports whether a slot currently holds a value.
+func (x *Exec) present(node int32, slot int32) bool {
+	return x.stamp[node][slot] == x.epoch
+}
+
+// markPresent flags a slot as holding a value, maintaining the live count
+// and the peak-store statistic exactly as the map engine's applyOp does.
+func (x *Exec) markPresent(node int32, slot int32) {
+	if x.stamp[node][slot] != x.epoch {
+		x.stamp[node][slot] = x.epoch
+		x.live[node]++
+		if int(x.live[node]) > x.stats.PeakStore {
+			x.stats.PeakStore = int(x.live[node])
+		}
+	}
+}
+
+// GetSlot reads the value at a slot, reporting presence.
+func (x *Exec) GetSlot(r SlotRef) (ring.Value, bool) {
+	if !x.present(int32(r.Node), r.Slot) {
+		var zero ring.Value
+		return zero, false
+	}
+	return x.arena[r.Node][r.Slot], true
+}
+
+// MustGetSlot reads a value that must be present.
+func (x *Exec) MustGetSlot(r SlotRef) ring.Value {
+	if !x.present(int32(r.Node), r.Slot) {
+		panic(fmt.Sprintf("lbm: node %d missing slot %d", r.Node, r.Slot))
+	}
+	return x.arena[r.Node][r.Slot]
+}
+
+// PutSlot stores a value at a slot (free local computation).
+func (x *Exec) PutSlot(r SlotRef, v ring.Value) {
+	x.arena[r.Node][r.Slot] = v
+	x.markPresent(int32(r.Node), r.Slot)
+}
+
+// AccSlot adds v into the slot's value (missing reads as the ring Zero).
+func (x *Exec) AccSlot(r SlotRef, v ring.Value) {
+	cur := x.R.Zero()
+	if x.present(int32(r.Node), r.Slot) {
+		cur = x.arena[r.Node][r.Slot]
+	}
+	x.arena[r.Node][r.Slot] = x.R.Add(cur, v)
+	x.markPresent(int32(r.Node), r.Slot)
+}
+
+// ClearSlot removes the value at a slot (the compiled Del). Clearing an
+// absent slot is a no-op, matching map deletion.
+func (x *Exec) ClearSlot(r SlotRef) {
+	if x.present(int32(r.Node), r.Slot) {
+		x.stamp[r.Node][r.Slot] = x.epoch - 1
+		x.live[r.Node]--
+	}
+}
+
+// Reset clears all arenas and statistics, returning the executor to its
+// freshly-constructed state (engine settings kept, collector detached so a
+// pooled executor never leaks a previous request's profile). Presence is
+// epoch-stamped, so no arena is swept.
+func (x *Exec) Reset() {
+	x.epoch++
+	if x.epoch == 0 { // stamp wrap: hard-clear once every 2^32 resets
+		for i := range x.stamp {
+			for j := range x.stamp[i] {
+				x.stamp[i][j] = 0
+			}
+		}
+		x.epoch = 1
+	}
+	for i := range x.live {
+		x.live[i] = 0
+	}
+	x.stats = Stats{SendLoad: x.stats.SendLoad, RecvLoad: x.stats.RecvLoad}
+	for i := range x.stats.SendLoad {
+		x.stats.SendLoad[i] = 0
+		x.stats.RecvLoad[i] = 0
+	}
+	x.collector = nil
+}
+
+// Run executes every round of the compiled plan, replaying its phase spans
+// on the collector exactly as the map engine replays Plan spans.
+func (x *Exec) Run(cp *CompiledPlan) error {
+	if len(cp.NumSlots) != x.N {
+		return fmt.Errorf("lbm: compiled plan for %d computers on a %d-computer executor", len(cp.NumSlots), x.N)
+	}
+	if cp.HasSub && x.field == nil {
+		return fmt.Errorf("lbm: OpSub requires a field, ring %s is not one", x.R.Name())
+	}
+	rounds := cp.NumRounds()
+	if x.collector == nil || len(cp.Spans) == 0 {
+		for t := 0; t < rounds; t++ {
+			if err := x.runRound(cp, t); err != nil {
+				return fmt.Errorf("round %d: %w", t, err)
+			}
+		}
+		return nil
+	}
+	return runWithSpans(x.collector, cp.Spans, rounds, func(t int) error {
+		return x.runRound(cp, t)
+	})
+}
+
+// runRound executes one compiled round: gather against the round-start
+// state, StoreLimit pre-check, deliver, then stats. Constraint checking
+// happened once at compile time.
+func (x *Exec) runRound(cp *CompiledPlan, t int) error {
+	lo, hi := int(cp.RoundOff[t]), int(cp.RoundOff[t+1])
+	if hi == lo {
+		return nil
+	}
+	size := hi - lo
+	if cap(x.payload) < size {
+		x.payload = make([]ring.Value, size)
+	}
+	payload := x.payload[:size]
+	if err := x.gather(cp, lo, hi, payload); err != nil {
+		return err
+	}
+	if x.StoreLimit > 0 {
+		if err := x.checkStoreLimit(cp, lo, hi); err != nil {
+			return err
+		}
+	}
+	x.deliver(cp, lo, hi, payload)
+
+	real := cp.Real[t]
+	if real > 0 {
+		x.stats.Rounds++
+		x.stats.Messages += int64(real)
+		c := x.collector
+		var locals int64
+		for i := lo; i < hi; i++ {
+			if cp.From[i] != cp.To[i] {
+				x.stats.SendLoad[cp.From[i]]++
+				x.stats.RecvLoad[cp.To[i]]++
+				if c != nil {
+					c.OnSend(cp.From[i], cp.To[i])
+				}
+			} else {
+				locals++
+			}
+		}
+		x.stats.LocalCopies += locals
+		if c != nil {
+			c.OnRound(int(real), int(locals))
+		}
+	} else {
+		// A round of only local copies costs nothing.
+		x.stats.LocalCopies += int64(size)
+	}
+	return nil
+}
+
+func (x *Exec) gather(cp *CompiledPlan, lo, hi int, payload []ring.Value) error {
+	read := func(a, b int) error {
+		for i := a; i < b; i++ {
+			from, slot := cp.From[i], cp.SrcSlot[i]
+			if x.stamp[from][slot] != x.epoch {
+				return x.missingErr(cp, i)
+			}
+			payload[i-lo] = x.arena[from][slot]
+		}
+		return nil
+	}
+	if x.Workers <= 1 || hi-lo < x.ParBatch {
+		return read(lo, hi)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, x.Workers)
+	chunk := (hi - lo + x.Workers - 1) / x.Workers
+	for w := 0; w < x.Workers; w++ {
+		a := lo + w*chunk
+		b := a + chunk
+		if b > hi {
+			b = hi
+		}
+		if a >= b {
+			break
+		}
+		wg.Add(1)
+		go func(w, a, b int) {
+			defer wg.Done()
+			errs[w] = read(a, b)
+		}(w, a, b)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// missingErr names the missing source as helpfully as the slot addressing
+// allows (the key itself when the plan carries its key table).
+func (x *Exec) missingErr(cp *CompiledPlan, i int) error {
+	from, slot := cp.From[i], cp.SrcSlot[i]
+	if cp.Keys != nil {
+		return fmt.Errorf("lbm: node %d cannot send missing key %v", from, cp.Keys[from][slot])
+	}
+	return fmt.Errorf("lbm: node %d cannot send missing key (slot %d)", from, slot)
+}
+
+// checkStoreLimit mirrors Machine.checkStoreLimit: distinct new destination
+// slots counted per node against the prospective post-delivery store sizes,
+// before anything is delivered.
+func (x *Exec) checkStoreLimit(cp *CompiledPlan, lo, hi int) error {
+	var seen map[SlotRef]struct{}
+	add := map[int32]int{}
+	for i := lo; i < hi; i++ {
+		to, dst := cp.To[i], cp.DstSlot[i]
+		if x.present(to, dst) {
+			continue
+		}
+		ref := SlotRef{Node: NodeID(to), Slot: dst}
+		if seen == nil {
+			seen = map[SlotRef]struct{}{}
+		} else if _, dup := seen[ref]; dup {
+			continue
+		}
+		seen[ref] = struct{}{}
+		add[to]++
+		if after := int(x.live[to]) + add[to]; after > x.StoreLimit {
+			return fmt.Errorf("lbm: node %d exceeds the store limit (%d > %d values)", to, after, x.StoreLimit)
+		}
+	}
+	return nil
+}
+
+func (x *Exec) deliver(cp *CompiledPlan, lo, hi int, payload []ring.Value) {
+	apply := func(i int) {
+		to, dst := cp.To[i], cp.DstSlot[i]
+		v := payload[i-lo]
+		switch cp.Ops[i] {
+		case OpAcc:
+			cur := x.R.Zero()
+			if x.present(to, dst) {
+				cur = x.arena[to][dst]
+			}
+			x.arena[to][dst] = x.R.Add(cur, v)
+		case OpSub:
+			cur := x.R.Zero()
+			if x.present(to, dst) {
+				cur = x.arena[to][dst]
+			}
+			x.arena[to][dst] = x.field.Sub(cur, v)
+		default:
+			x.arena[to][dst] = v
+		}
+		x.markPresent(to, dst)
+	}
+	if x.Workers <= 1 || hi-lo < x.ParBatch {
+		for i := lo; i < hi; i++ {
+			apply(i)
+		}
+		return
+	}
+	// The parallel engine shards by receiver (a node may be the target of
+	// one real message and several local copies in one round); live counts
+	// and stamps are per-node state, so receiver sharding keeps them
+	// race-free. Peak tracking merges afterwards, as in the map engine.
+	var wg sync.WaitGroup
+	var peakMu sync.Mutex
+	peak := x.stats.PeakStore
+	for w := 0; w < x.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			localPeak := 0
+			for i := lo; i < hi; i++ {
+				to := cp.To[i]
+				if int(to)%x.Workers != w {
+					continue
+				}
+				dst := cp.DstSlot[i]
+				v := payload[i-lo]
+				switch cp.Ops[i] {
+				case OpAcc:
+					cur := x.R.Zero()
+					if x.present(to, dst) {
+						cur = x.arena[to][dst]
+					}
+					x.arena[to][dst] = x.R.Add(cur, v)
+				case OpSub:
+					cur := x.R.Zero()
+					if x.present(to, dst) {
+						cur = x.arena[to][dst]
+					}
+					x.arena[to][dst] = x.field.Sub(cur, v)
+				default:
+					x.arena[to][dst] = v
+				}
+				if x.stamp[to][dst] != x.epoch {
+					x.stamp[to][dst] = x.epoch
+					x.live[to]++
+				}
+				if int(x.live[to]) > localPeak {
+					localPeak = int(x.live[to])
+				}
+			}
+			peakMu.Lock()
+			if localPeak > peak {
+				peak = localPeak
+			}
+			peakMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	x.stats.PeakStore = peak
+}

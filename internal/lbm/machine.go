@@ -96,8 +96,10 @@ func (p *Plan) NumRounds() int { return len(p.Rounds) }
 // MergeParallel overlays several plans that use disjoint sets of computers:
 // round t of the result is the union of round t of every input. The
 // machine's validator still checks the per-node constraints, so an invalid
-// overlay (shared computers) is caught at execution time. Phase spans are
-// dropped: a merged round has no single phase attribution.
+// overlay (shared computers) is caught at execution time. Phase spans of the
+// inputs are carried over, prefixed with the input's position ("p3/label"),
+// so overlaid plans stay visible to the observability layer; span endpoints
+// are remapped when the union drops empty rounds.
 func MergeParallel(plans ...*Plan) *Plan {
 	out := &Plan{}
 	maxLen := 0
@@ -106,7 +108,12 @@ func MergeParallel(plans ...*Plan) *Plan {
 			maxLen = len(p.Rounds)
 		}
 	}
+	// outAt[t] is the index in the merged plan of the union round t; a
+	// dropped (all-empty) union round maps to the next kept one, so spans
+	// over it collapse to zero rounds instead of shifting onto neighbours.
+	outAt := make([]int, maxLen+1)
 	for t := 0; t < maxLen; t++ {
+		outAt[t] = len(out.Rounds)
 		var r Round
 		for _, p := range plans {
 			if t < len(p.Rounds) {
@@ -114,6 +121,20 @@ func MergeParallel(plans ...*Plan) *Plan {
 			}
 		}
 		out.Append(r)
+	}
+	outAt[maxLen] = len(out.Rounds)
+	for pi, p := range plans {
+		for _, s := range p.Spans {
+			if s.Start < 0 || s.End < s.Start || s.End > len(p.Rounds) {
+				continue // malformed span; validation reports it elsewhere
+			}
+			out.Spans = append(out.Spans, PhaseSpan{
+				Label:   fmt.Sprintf("p%d/%s", pi, s.Label),
+				Start:   outAt[s.Start],
+				End:     outAt[s.End],
+				Metrics: s.Metrics,
+			})
+		}
 	}
 	return out
 }
@@ -190,6 +211,17 @@ func WithWorkers(w int) Option { return func(m *Machine) { m.Workers = w } }
 // WithAutoWorkers selects the goroutine engine sized to the host CPU.
 func WithAutoWorkers() Option {
 	return func(m *Machine) { m.Workers = runtime.GOMAXPROCS(0) }
+}
+
+// WithParBatch lowers the minimum per-round send count before the Workers
+// engine parallelizes (default 4096). Tests use small values to force the
+// parallel path on small instances.
+func WithParBatch(b int) Option {
+	return func(m *Machine) {
+		if b > 0 {
+			m.ParBatch = b
+		}
+	}
 }
 
 // WithStoreLimit enables the per-computer memory check at the given number
@@ -354,7 +386,10 @@ func (m *Machine) checkRound(r Round) (int64, error) {
 
 // RunRound executes one synchronous round: all payloads are read from the
 // senders' stores against the round-start state, then delivered. It returns
-// an error (leaving stats untouched) if the round violates the model.
+// an error if the round violates the model — including a StoreLimit
+// violation, which is detected against the prospective post-delivery store
+// sizes *before* any value is delivered — leaving both stats and stores
+// untouched.
 func (m *Machine) RunRound(r Round) error {
 	real, err := m.checkRound(r)
 	if err != nil {
@@ -364,15 +399,12 @@ func (m *Machine) RunRound(r Round) error {
 	if err != nil {
 		return err
 	}
-	m.deliver(r, payloads)
 	if m.StoreLimit > 0 {
-		for _, s := range r {
-			if len(m.stores[s.To]) > m.StoreLimit {
-				return fmt.Errorf("lbm: node %d exceeds the store limit (%d > %d values)",
-					s.To, len(m.stores[s.To]), m.StoreLimit)
-			}
+		if err := m.checkStoreLimit(r); err != nil {
+			return err
 		}
 	}
+	m.deliver(r, payloads)
 	if real > 0 {
 		m.stats.Rounds++
 		m.stats.Messages += real
@@ -396,6 +428,37 @@ func (m *Machine) RunRound(r Round) error {
 	} else if len(r) > 0 {
 		// A round of only local copies costs nothing.
 		m.stats.LocalCopies += int64(len(r))
+	}
+	return nil
+}
+
+// checkStoreLimit verifies that delivering the round would keep every
+// receiver's store within StoreLimit, without mutating anything. Distinct
+// new destination keys are counted per node (every Op creates a missing
+// destination), so the check sees exactly the post-delivery store sizes.
+func (m *Machine) checkStoreLimit(r Round) error {
+	type nodeKey struct {
+		node NodeID
+		k    Key
+	}
+	var seen map[nodeKey]struct{}
+	add := map[NodeID]int{}
+	for _, s := range r {
+		if _, ok := m.stores[s.To][s.Dst]; ok {
+			continue
+		}
+		nk := nodeKey{s.To, s.Dst}
+		if seen == nil {
+			seen = map[nodeKey]struct{}{}
+		} else if _, dup := seen[nk]; dup {
+			continue
+		}
+		seen[nk] = struct{}{}
+		add[s.To]++
+		if after := len(m.stores[s.To]) + add[s.To]; after > m.StoreLimit {
+			return fmt.Errorf("lbm: node %d exceeds the store limit (%d > %d values)",
+				s.To, after, m.StoreLimit)
+		}
 	}
 	return nil
 }
@@ -531,7 +594,16 @@ func (m *Machine) Run(p *Plan) error {
 // the collector. Spans must be non-overlapping or properly nested (builders
 // produce them that way); they are replayed outermost-first.
 func (m *Machine) runSpanned(p *Plan) error {
-	spans := append([]PhaseSpan(nil), p.Spans...)
+	return runWithSpans(m.collector, p.Spans, len(p.Rounds), func(t int) error {
+		return m.RunRound(p.Rounds[t])
+	})
+}
+
+// runWithSpans drives a round executor while replaying phase spans on a
+// collector. It is shared by the map engine (Machine.runSpanned) and the
+// compiled engine (Exec.Run), so both report byte-identical span trees.
+func runWithSpans(c obsv.Collector, planSpans []PhaseSpan, rounds int, runRound func(t int) error) error {
+	spans := append([]PhaseSpan(nil), planSpans...)
 	sort.SliceStable(spans, func(i, j int) bool {
 		if spans[i].Start != spans[j].Start {
 			return spans[i].Start < spans[j].Start
@@ -542,17 +614,17 @@ func (m *Machine) runSpanned(p *Plan) error {
 	var stack []PhaseSpan
 	closeTo := func(t int) {
 		for len(stack) > 0 && stack[len(stack)-1].End <= t {
-			m.collector.EndPhase()
+			c.EndPhase()
 			stack = stack[:len(stack)-1]
 		}
 	}
 	emit := func(sp PhaseSpan) {
-		m.collector.BeginPhase(sp.Label)
+		c.BeginPhase(sp.Label)
 		for _, k := range sortedMetricKeys(sp.Metrics) {
-			m.collector.Counter(k, sp.Metrics[k])
+			c.Counter(k, sp.Metrics[k])
 		}
 	}
-	for t := 0; t <= len(p.Rounds); t++ {
+	for t := 0; t <= rounds; t++ {
 		closeTo(t)
 		for si < len(spans) && spans[si].Start == t {
 			sp := spans[si]
@@ -560,21 +632,21 @@ func (m *Machine) runSpanned(p *Plan) error {
 			if sp.End <= sp.Start {
 				// Zero-round phase: report and close immediately.
 				emit(sp)
-				m.collector.EndPhase()
+				c.EndPhase()
 				continue
 			}
 			emit(sp)
 			stack = append(stack, sp)
 		}
-		if t == len(p.Rounds) {
+		if t == rounds {
 			break
 		}
-		if err := m.RunRound(p.Rounds[t]); err != nil {
-			closeTo(len(p.Rounds) + 1)
+		if err := runRound(t); err != nil {
+			closeTo(rounds + 1)
 			return fmt.Errorf("round %d: %w", t, err)
 		}
 	}
-	closeTo(len(p.Rounds) + 1)
+	closeTo(rounds + 1)
 	return nil
 }
 

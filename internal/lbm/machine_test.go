@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -533,5 +534,70 @@ func TestReset(t *testing.T) {
 	}
 	if m.Rounds() != 1 {
 		t.Error("machine unusable after reset")
+	}
+}
+
+func TestMergeParallelCarriesSpans(t *testing.T) {
+	p1 := &Plan{}
+	p1.Append(Round{{From: 0, To: 1, Src: AKey(0, 0), Dst: AKey(0, 0)}})
+	p1.Append(Round{{From: 1, To: 0, Src: AKey(0, 0), Dst: TKey(0, 0, 0)}})
+	p1.Annotate("shuffle", map[string]float64{"kappa": 2})
+	p2 := &Plan{}
+	p2.Append(Round{{From: 2, To: 3, Src: AKey(2, 0), Dst: AKey(2, 0)}})
+	p2.Annotate("copy", nil)
+	merged := MergeParallel(p1, p2)
+	if len(merged.Spans) != 2 {
+		t.Fatalf("spans = %+v", merged.Spans)
+	}
+	if s := merged.Spans[0]; s.Label != "p0/shuffle" || s.Start != 0 || s.End != 2 || s.Metrics["kappa"] != 2 {
+		t.Errorf("span 0 = %+v", s)
+	}
+	if s := merged.Spans[1]; s.Label != "p1/copy" || s.Start != 0 || s.End != 1 {
+		t.Errorf("span 1 = %+v", s)
+	}
+	// A span over a round that the union drops (both inputs empty there)
+	// collapses to zero rounds instead of swallowing a neighbour's round.
+	p3 := &Plan{Rounds: []Round{}, Spans: []PhaseSpan{{Label: "empty", Start: 0, End: 0}}}
+	m2 := MergeParallel(p1, p3)
+	if s := m2.Spans[1]; s.Label != "p1/empty" || s.Start != s.End {
+		t.Errorf("empty-phase span = %+v", s)
+	}
+}
+
+func TestStoreLimitPreDelivery(t *testing.T) {
+	// The limit check runs before any delivery: a round that would push a
+	// node over its limit must leave every store and all stats untouched,
+	// including deliveries to other, non-offending nodes in the same round.
+	m := New(4, ring.Counting{}, WithStoreLimit(2))
+	m.Put(0, AKey(0, 0), 1)
+	m.Put(1, AKey(1, 0), 2)
+	m.Put(2, AKey(2, 0), 3)
+	m.Put(2, AKey(2, 1), 4) // node 2 is at the limit
+	before := m.Stats()
+	r := Round{
+		{From: 0, To: 3, Src: AKey(0, 0), Dst: TKey(0, 0, 0), Op: OpSet}, // fine on its own
+		{From: 1, To: 2, Src: AKey(1, 0), Dst: TKey(0, 0, 1), Op: OpSet}, // pushes node 2 over
+	}
+	err := m.RunRound(r)
+	if err == nil || !strings.Contains(err.Error(), "store limit") {
+		t.Fatalf("err = %v", err)
+	}
+	if !reflect.DeepEqual(before, m.Stats()) {
+		t.Errorf("failed round changed stats:\n before %+v\n after  %+v", before, m.Stats())
+	}
+	if _, ok := m.Get(3, TKey(0, 0, 0)); ok {
+		t.Error("failed round delivered to the non-offending node")
+	}
+	if _, ok := m.Get(2, TKey(0, 0, 1)); ok {
+		t.Error("failed round delivered to the offending node")
+	}
+	// Overwrites of keys a node already holds do not create new values and
+	// must pass the limit check.
+	ok := Round{{From: 0, To: 2, Src: AKey(0, 0), Dst: AKey(2, 0), Op: OpSet}}
+	if err := m.RunRound(ok); err != nil {
+		t.Fatalf("overwrite at the limit must be legal: %v", err)
+	}
+	if v, _ := m.Get(2, AKey(2, 0)); v != 1 {
+		t.Errorf("overwrite lost: %v", v)
 	}
 }

@@ -22,6 +22,9 @@ var ErrOverloaded = errors.New("service: overloaded, request shed")
 type Config struct {
 	// CacheSize bounds the number of prepared plans kept (default 128).
 	CacheSize int
+	// CacheBytes additionally bounds the total compiled size of the cached
+	// plans (Prepared.CompiledBytes); 0 disables the byte bound.
+	CacheBytes int64
 	// Workers bounds concurrent plan executions (default GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds how many admitted requests may wait for a worker
@@ -82,7 +85,7 @@ func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
 		cfg:     cfg,
-		cache:   NewCache(cfg.CacheSize, cfg.Metrics),
+		cache:   NewCacheBytes(cfg.CacheSize, cfg.CacheBytes, cfg.Metrics),
 		metrics: cfg.Metrics,
 		workers: make(chan struct{}, cfg.Workers),
 	}
@@ -134,6 +137,10 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 // supports and options, returning the plan, its fingerprint, and whether it
 // was a cache hit.
 func (s *Server) prepared(ahat, bhat, xhat *matrix.Support, opts core.Options) (*core.Prepared, string, bool, error) {
+	// The serving layer always runs the default (compiled) engine; the
+	// fingerprint is engine-agnostic, so a cached plan must not inherit an
+	// engine override from whichever request compiled it first.
+	opts.Engine = ""
 	fp, err := core.Fingerprint(ahat, bhat, xhat, opts)
 	if err != nil {
 		return nil, "", false, err

@@ -38,17 +38,20 @@ import (
 // compilation whose result (or error) every waiter receives.
 type Cache struct {
 	capacity int
+	maxBytes int64
 	metrics  *obsv.CounterSet
 
 	mu       sync.Mutex
 	entries  map[string]*list.Element // fingerprint → lru element
 	lru      *list.List               // front = most recently used
+	bytes    int64                    // sum of cached entries' compiled sizes
 	inflight map[string]*flight
 }
 
 type cacheEntry struct {
 	key  string
 	prep *core.Prepared
+	cost int64
 }
 
 // flight is one in-progress compilation; waiters block on done.
@@ -65,12 +68,23 @@ const (
 	MetricCacheJoins     = "cache/joins" // waited on another request's compile
 	MetricCacheEvictions = "cache/evictions"
 	MetricCacheSize      = "cache/size"     // gauge
+	MetricCacheBytes     = "cache/bytes"    // gauge: total compiled size cached
 	MetricCacheInflight  = "cache/inflight" // gauge
 )
 
 // NewCache returns a cache holding at most capacity prepared plans
 // (capacity < 1 is treated as 1). Metrics may be nil to disable counting.
 func NewCache(capacity int, metrics *obsv.CounterSet) *Cache {
+	return NewCacheBytes(capacity, 0, metrics)
+}
+
+// NewCacheBytes returns a cache bounded by an entry count and, when
+// maxBytes > 0, by the total compiled size of the cached plans
+// (core.Prepared.CompiledBytes) — the LRU cost model that matches what a
+// cached entry actually pins in memory. A single entry larger than maxBytes
+// is still cached (an empty cache serves nothing); eviction brings the
+// total back under budget as soon as a second entry arrives.
+func NewCacheBytes(capacity int, maxBytes int64, metrics *obsv.CounterSet) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -79,11 +93,19 @@ func NewCache(capacity int, metrics *obsv.CounterSet) *Cache {
 	}
 	return &Cache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		metrics:  metrics,
 		entries:  map[string]*list.Element{},
 		lru:      list.New(),
 		inflight: map[string]*flight{},
 	}
+}
+
+// Bytes returns the total compiled size of the cached plans.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Len returns the number of cached plans.
@@ -154,19 +176,28 @@ func (c *Cache) Contains(fingerprint string) bool {
 }
 
 func (c *Cache) insertLocked(key string, prep *core.Prepared) {
+	cost := prep.CompiledBytes()
 	if e, ok := c.entries[key]; ok {
 		// A racing compile of the same key finished first; keep the newer
 		// plan and refresh recency.
-		e.Value.(*cacheEntry).prep = prep
+		ent := e.Value.(*cacheEntry)
+		c.bytes += cost - ent.cost
+		ent.prep = prep
+		ent.cost = cost
 		c.lru.MoveToFront(e)
+		c.metrics.Set(MetricCacheBytes, c.bytes)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, prep: prep})
-	for c.lru.Len() > c.capacity {
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, prep: prep, cost: cost})
+	c.bytes += cost
+	for c.lru.Len() > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 1) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		ent := oldest.Value.(*cacheEntry)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.cost
 		c.metrics.Add(MetricCacheEvictions, 1)
 	}
 	c.metrics.Set(MetricCacheSize, int64(c.lru.Len()))
+	c.metrics.Set(MetricCacheBytes, c.bytes)
 }
