@@ -1,0 +1,27 @@
+package main
+
+import (
+	"fmt"
+
+	"lbmm/internal/chaos"
+)
+
+// runChaos runs the chaos differential harness (docs/CHAOS.md): randomized
+// (structure, ring, fault plan) cases through the map oracle and the
+// compiled engine, holding them to identical products fault-free and
+// identical typed faults under injection. Exit status is non-zero on any
+// differential violation.
+func runChaos(cases int, seed int64, verbose bool) error {
+	cfg := chaos.DiffConfig{Cases: cases, Seed: seed}
+	if verbose {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	res := chaos.Differential(cfg)
+	fmt.Println(res.Summary())
+	if !res.OK() {
+		return fmt.Errorf("chaos: %d differential violation(s)", len(res.Failures))
+	}
+	return nil
+}

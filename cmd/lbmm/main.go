@@ -24,6 +24,9 @@
 //	lbmm benchpr3 [-n N] [-d D] [-iters K] [-o BENCH_PR3.json]
 //	                        prepare-once/multiply-many benchmark of the map
 //	                        vs compiled execution engines
+//	lbmm chaos [-cases N] [-seed S] [-verbose]
+//	                        chaos differential harness: randomized fault
+//	                        plans through both engines (docs/CHAOS.md)
 //	lbmm all [-full]        every table/figure in sequence
 package main
 
@@ -71,6 +74,9 @@ func main() {
 	deadline := fs.Duration("deadline", 0, "serve: default per-request deadline (0 = 30s)")
 	engine := fs.String("engine", "", "demo: execution engine (compiled|map; default compiled)")
 	iters := fs.Int("iters", 50, "benchpr3: multiplications per engine")
+	cases := fs.Int("cases", 200, "chaos: randomized differential cases")
+	seed := fs.Int64("seed", 1, "chaos: harness seed (equal seeds replay equal runs)")
+	verbose := fs.Bool("verbose", false, "chaos: log every detected fault")
 	_ = fs.Parse(os.Args[2:])
 
 	scale := exper.Quick
@@ -115,6 +121,8 @@ func main() {
 		err = runServe(*addr, *cacheSize, *cacheMB, *workers, *queue, *deadline)
 	case "benchpr3":
 		err = runBenchPR3(*n, *d, *iters, *outPath)
+	case "chaos":
+		err = runChaos(*cases, *seed, *verbose)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return runTable1(scale, *profile) },
@@ -142,7 +150,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|benchpr3|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|benchpr3|chaos|all> [flags]`)
 }
 
 func runTable1(scale exper.Scale, profile bool) error {

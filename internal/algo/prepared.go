@@ -147,16 +147,26 @@ func (p *Prepared) Multiply(a, b *matrix.Sparse) (*matrix.Sparse, *Result, error
 }
 
 // MultiplyWith is Multiply with per-call machine options — the serving
-// layer's entry point for per-request tracing (lbm.WithTrace) without
-// touching shared prepared state.
+// layer's entry point for per-request tracing (lbm.WithTrace) and fault
+// injection (lbm.WithInjector) without touching shared prepared state.
 func (p *Prepared) MultiplyWith(a, b *matrix.Sparse, mopts ...lbm.Option) (*matrix.Sparse, *Result, error) {
+	return p.MultiplyOn(p.engine(), a, b, mopts...)
+}
+
+// MultiplyOn is MultiplyWith on an explicit engine, overriding the prepared
+// default for this call only. Concurrent callers may pick different engines
+// on one shared Prepared (the field-free dispatch the serving layer's
+// compiled→map fault fallback needs). A compiled request on a preparation
+// without a compiled form degrades to the map engine, mirroring the default
+// dispatch.
+func (p *Prepared) MultiplyOn(e Engine, a, b *matrix.Sparse, mopts ...lbm.Option) (*matrix.Sparse, *Result, error) {
 	if err := within(a.Support(), p.Inst.Ahat); err != nil {
 		return nil, nil, fmt.Errorf("algo: A %w", err)
 	}
 	if err := within(b.Support(), p.Inst.Bhat); err != nil {
 		return nil, nil, fmt.Errorf("algo: B %w", err)
 	}
-	if p.engine() == EngineCompiled {
+	if e == EngineCompiled && p.compiled != nil {
 		return p.multiplyCompiled(a, b, mopts...)
 	}
 	m := lbm.New(p.Inst.N, p.R, mopts...)

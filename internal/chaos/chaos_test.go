@@ -1,0 +1,146 @@
+package chaos
+
+import (
+	"testing"
+
+	"lbmm/internal/lbm"
+)
+
+// TestInjectorDeterminism: verdicts are pure functions of the plan — two
+// injectors compiled from the same plan agree on every probe, and verdicts
+// don't depend on call order.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := FaultPlan{Seed: 42, Rates: Rates{Drop: 0.2, Duplicate: 0.1, Corrupt: 0.1, Delay: 0.1}}
+	a := plan.MustInjector()
+	b := plan.MustInjector()
+	var struck int
+	for round := 0; round < 64; round++ {
+		for ord := 0; ord < 16; ord++ {
+			ka := a.Decide(round, ord, 0, 1)
+			kb := b.Decide(round, ord, 0, 1)
+			if ka != kb {
+				t.Fatalf("verdicts diverge at (%d,%d): %v vs %v", round, ord, ka, kb)
+			}
+			if ka != lbm.FaultNone {
+				struck++
+			}
+		}
+	}
+	// 1024 probes at total rate 0.5: the hash would have to be badly broken
+	// to strike fewer than 300 or more than 700.
+	if struck < 300 || struck > 700 {
+		t.Errorf("struck %d/1024 probes at total rate 0.5", struck)
+	}
+	// Replaying a single probe after the sweep must not change its verdict.
+	if a.Decide(3, 2, 0, 1) != b.Decide(3, 2, 0, 1) {
+		t.Error("replayed probe diverged")
+	}
+}
+
+// TestInjectorSeedSensitivity: different seeds strike different messages.
+func TestInjectorSeedSensitivity(t *testing.T) {
+	p1 := FaultPlan{Seed: 1, Rates: Rates{Drop: 0.3}}.MustInjector()
+	p2 := FaultPlan{Seed: 2, Rates: Rates{Drop: 0.3}}.MustInjector()
+	same := true
+	for round := 0; round < 32 && same; round++ {
+		for ord := 0; ord < 8; ord++ {
+			if p1.Decide(round, ord, 0, 1) != p2.Decide(round, ord, 0, 1) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical verdict streams")
+	}
+}
+
+// TestRoundOverridesAndWindow pins the rate-resolution precedence: a round
+// override beats the plan-wide window, and the window excludes rounds
+// outside [FromRound, ToRound).
+func TestRoundOverridesAndWindow(t *testing.T) {
+	in := FaultPlan{
+		Seed:      7,
+		Rates:     Rates{Drop: 1},
+		FromRound: 2, ToRound: 4,
+		Rounds: []RoundRates{{Round: 10, Rates: Rates{Corrupt: 1}}},
+	}.MustInjector()
+	cases := []struct {
+		round int
+		want  lbm.FaultKind
+	}{
+		{0, lbm.FaultNone},     // before the window
+		{1, lbm.FaultNone},     // before the window
+		{2, lbm.FaultDrop},     // inside
+		{3, lbm.FaultDrop},     // inside
+		{4, lbm.FaultNone},     // ToRound is exclusive
+		{10, lbm.FaultCorrupt}, // override beats the window exclusion
+	}
+	for _, c := range cases {
+		if got := in.Decide(c.round, 0, 0, 1); got != c.want {
+			t.Errorf("round %d: verdict %v, want %v", c.round, got, c.want)
+		}
+	}
+}
+
+// TestStragglerMasks pins mask semantics: [From, To) windows, To=0 masking
+// a single round, and per-node isolation.
+func TestStragglerMasks(t *testing.T) {
+	in := FaultPlan{Stragglers: []Straggler{
+		{Node: 3, From: 2, To: 5},
+		{Node: 3, From: 9},
+		{Node: 1, From: 0, To: 1},
+	}}.MustInjector()
+	probe := []struct {
+		round int
+		node  lbm.NodeID
+		want  bool
+	}{
+		{1, 3, false}, {2, 3, true}, {4, 3, true}, {5, 3, false},
+		{8, 3, false}, {9, 3, true}, {10, 3, false},
+		{0, 1, true}, {1, 1, false}, {0, 2, false},
+	}
+	for _, c := range probe {
+		if got := in.Straggles(c.round, c.node); got != c.want {
+			t.Errorf("Straggles(%d, %d) = %v, want %v", c.round, c.node, got, c.want)
+		}
+	}
+}
+
+// TestFaultPlanValidate rejects non-probability rates.
+func TestFaultPlanValidate(t *testing.T) {
+	bad := []FaultPlan{
+		{Rates: Rates{Drop: -0.1}},
+		{Rates: Rates{Drop: 1.5}},
+		{Rates: Rates{Drop: 0.6, Corrupt: 0.6}},
+		{Rounds: []RoundRates{{Round: 1, Rates: Rates{Delay: 2}}}},
+		{Rounds: []RoundRates{{Round: -1, Rates: Rates{Delay: 0.1}}}},
+		{Stragglers: []Straggler{{Node: -2}}},
+	}
+	for i, p := range bad {
+		if _, err := p.Injector(); err == nil {
+			t.Errorf("plan %d validated, want error", i)
+		}
+	}
+	ok := FaultPlan{Seed: 1, Rates: Rates{Drop: 0.5, Duplicate: 0.5}}
+	if _, err := ok.Injector(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestQuiet classifies plans that can never strike.
+func TestQuiet(t *testing.T) {
+	if !(FaultPlan{Seed: 5}).Quiet() {
+		t.Error("zero plan not quiet")
+	}
+	armed := []FaultPlan{
+		{Rates: Rates{Delay: 0.1}},
+		{Rounds: []RoundRates{{Round: 3, Rates: Rates{Drop: 1}}}},
+		{Stragglers: []Straggler{{Node: 0}}},
+	}
+	for i, p := range armed {
+		if p.Quiet() {
+			t.Errorf("armed plan %d reported quiet", i)
+		}
+	}
+}

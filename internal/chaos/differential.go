@@ -1,0 +1,281 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lbmm/internal/algo"
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// DiffConfig sizes a differential run.
+type DiffConfig struct {
+	// Cases is the number of randomized (structure, ring, fault plan)
+	// cases; 0 means 200 (the acceptance floor).
+	Cases int
+	// Seed keys every random choice; equal seeds replay equal runs.
+	Seed int64
+	// Log, when non-nil, receives one line per case (the CLI's -v).
+	Log func(format string, args ...any)
+}
+
+// DiffResult summarizes a differential run.
+type DiffResult struct {
+	// Cases is the number of cases executed.
+	Cases int
+	// Clean counts fault-free executions that agreed across engines and
+	// matched the sequential reference product (every case contributes one).
+	Clean int
+	// Faulted counts armed cases where both engines detected the identical
+	// typed fault.
+	Faulted int
+	// Survived counts armed cases whose injector never struck (low rates or
+	// a missed window); their outputs still had to agree.
+	Survived int
+	// FaultsByKind tallies the detected faults by kind name.
+	FaultsByKind map[string]int
+	// Failures lists every differential violation, human-readably. A clean
+	// harness run has none.
+	Failures []string
+}
+
+// OK reports whether the run found no differential violations.
+func (r *DiffResult) OK() bool { return len(r.Failures) == 0 }
+
+// Summary renders the run one screen high.
+func (r *DiffResult) Summary() string {
+	s := fmt.Sprintf("chaos differential: %d cases — %d clean, %d faulted identically, %d survived injection",
+		r.Cases, r.Clean, r.Faulted, r.Survived)
+	if len(r.FaultsByKind) > 0 {
+		s += "\nfaults by kind:"
+		for _, k := range []lbm.FaultKind{lbm.FaultDrop, lbm.FaultDuplicate, lbm.FaultCorrupt, lbm.FaultDelay, lbm.FaultStraggle} {
+			if c := r.FaultsByKind[k.String()]; c > 0 {
+				s += fmt.Sprintf(" %s=%d", k, c)
+			}
+		}
+	}
+	if !r.OK() {
+		s += fmt.Sprintf("\nFAILURES (%d):", len(r.Failures))
+		for _, f := range r.Failures {
+			s += "\n  " + f
+		}
+	}
+	return s
+}
+
+// diffCase is one randomized draw: a prepared structure, values, and an
+// armed-or-quiet fault plan.
+type diffCase struct {
+	label string
+	prep  *algo.Prepared
+	a, b  *matrix.Sparse
+	plan  FaultPlan
+	armed bool
+}
+
+// Differential runs the chaos differential harness: every case first
+// executes fault-free on the map oracle and the compiled engine (outputs
+// must agree with each other and with the sequential reference product),
+// then — when armed — re-executes both engines under one shared injector
+// and requires either a clean survival with agreeing outputs or the
+// identical typed lbm.ErrFault (same kind, same network round, same node)
+// from both. Fault-free replays after a fault check that a detection leaves
+// no state behind (the compiled engine recycles pooled executors).
+func Differential(cfg DiffConfig) *DiffResult {
+	cases := cfg.Cases
+	if cases <= 0 {
+		cases = 200
+	}
+	res := &DiffResult{FaultsByKind: map[string]int{}}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for c := 0; c < cases; c++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+		dc, err := drawCase(c, rng)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("case %d (%s): draw: %v", c, dc.label, err))
+			continue
+		}
+		res.Cases++
+		runCase(res, c, dc, logf)
+	}
+	return res
+}
+
+// drawCase randomizes one case: structure family and size, ring, algorithm,
+// values, and a fault plan (quiet for 1 case in 5).
+func drawCase(c int, rng *rand.Rand) (*diffCase, error) {
+	ns := []int{16, 24, 32}
+	ds := []int{2, 3}
+	n := ns[rng.Intn(len(ns))]
+	d := ds[rng.Intn(len(ds))]
+	rings := []ring.Semiring{ring.Counting{}, ring.MinPlus{}, ring.Real{}, ring.NewGFp(1009)}
+	r := rings[rng.Intn(len(rings))]
+
+	structSeed := rng.Int63()
+	var inst = workload.Mixed(n, d, structSeed)
+	family := "mixed"
+	switch rng.Intn(3) {
+	case 0:
+		inst = workload.Blocks(n, d)
+		family = "blocks"
+	case 1:
+		inst = workload.PowerLaw(n, d, structSeed)
+		family = "powerlaw"
+	}
+
+	var prep *algo.Prepared
+	var err error
+	algName := "lemma31"
+	if rng.Intn(2) == 0 {
+		algName = "theorem42"
+		prep, err = algo.PrepareTheorem42(r, inst, algo.Theorem42Opts{})
+	} else {
+		prep, err = algo.PrepareLemma31(r, inst)
+	}
+	dc := &diffCase{
+		label: fmt.Sprintf("%s/n%d/d%d/%s/%s", family, n, d, r.Name(), algName),
+	}
+	if err != nil {
+		return dc, err
+	}
+	dc.prep = prep
+	dc.a = matrix.Random(prep.Inst.Ahat, r, rng.Int63())
+	dc.b = matrix.Random(prep.Inst.Bhat, r, rng.Int63())
+	dc.plan, dc.armed = drawPlan(rng, prep.Inst.N)
+	return dc, nil
+}
+
+// drawPlan randomizes a fault plan over the profiles the harness covers:
+// quiet, one emphasized kind, mixed low rates, a guaranteed-strike round
+// override, and straggler masks.
+func drawPlan(rng *rand.Rand, n int) (FaultPlan, bool) {
+	p := FaultPlan{Seed: rng.Int63()}
+	switch rng.Intn(6) {
+	case 0: // quiet: the armed path must be inert
+		return p, false
+	case 1: // one kind, low rate
+		rate := 0.002 + 0.05*rng.Float64()
+		switch rng.Intn(4) {
+		case 0:
+			p.Drop = rate
+		case 1:
+			p.Duplicate = rate
+		case 2:
+			p.Corrupt = rate
+		case 3:
+			p.Delay = rate
+		}
+	case 2: // mixed low rates
+		p.Drop = 0.01 * rng.Float64()
+		p.Duplicate = 0.01 * rng.Float64()
+		p.Corrupt = 0.01 * rng.Float64()
+		p.Delay = 0.01 * rng.Float64()
+	case 3: // guaranteed strike in one scheduled round
+		p.Rounds = []RoundRates{{Round: rng.Intn(8), Rates: Rates{Drop: 1}}}
+	case 4: // straggler mask over a short window
+		p.Stragglers = []Straggler{{
+			Node: lbm.NodeID(rng.Intn(n)),
+			From: rng.Intn(6),
+			To:   0, // single round
+		}}
+	case 5: // windowed plan-wide rates
+		p.Drop = 0.2
+		p.FromRound = rng.Intn(4)
+		p.ToRound = p.FromRound + 1 + rng.Intn(3)
+	}
+	return p, true
+}
+
+// runEngine executes one engine under an optional injector.
+func runEngine(dc *diffCase, e algo.Engine, inj lbm.Injector) (*matrix.Sparse, error) {
+	var mopts []lbm.Option
+	if inj != nil {
+		mopts = append(mopts, lbm.WithInjector(inj))
+	}
+	x, _, err := dc.prep.MultiplyOn(e, dc.a, dc.b, mopts...)
+	return x, err
+}
+
+// runCase executes the differential protocol for one case, appending any
+// violation to res.Failures.
+func runCase(res *DiffResult, c int, dc *diffCase, logf func(string, ...any)) {
+	fail := func(format string, args ...any) {
+		res.Failures = append(res.Failures, fmt.Sprintf("case %d (%s): %s", c, dc.label, fmt.Sprintf(format, args...)))
+	}
+
+	// Phase 1: fault-free differential (also the reference for replays).
+	want := matrix.MulReference(dc.a, dc.b, dc.prep.Inst.Xhat)
+	xMap, errMap := runEngine(dc, algo.EngineMap, nil)
+	xComp, errComp := runEngine(dc, algo.EngineCompiled, nil)
+	if errMap != nil || errComp != nil {
+		fail("fault-free run errored: map=%v compiled=%v", errMap, errComp)
+		return
+	}
+	if !matrix.Equal(xMap, want) {
+		fail("map engine product differs from the sequential reference")
+		return
+	}
+	if !matrix.Equal(xComp, want) {
+		fail("compiled engine product differs from the sequential reference")
+		return
+	}
+	res.Clean++
+
+	if !dc.armed && dc.plan.Quiet() {
+		// Quiet plans still exercise the injector seam: verdicts must all be
+		// clean and the products unchanged.
+		inj := dc.plan.MustInjector()
+		if x, err := runEngine(dc, algo.EngineCompiled, inj); err != nil || !matrix.Equal(x, want) {
+			fail("quiet injector perturbed the compiled engine: err=%v", err)
+		}
+		return
+	}
+
+	// Phase 2: the armed differential under one shared injector.
+	inj := dc.plan.MustInjector()
+	xMapF, errMapF := runEngine(dc, algo.EngineMap, inj)
+	xCompF, errCompF := runEngine(dc, algo.EngineCompiled, inj)
+	switch {
+	case errMapF == nil && errCompF == nil:
+		if !matrix.Equal(xMapF, want) || !matrix.Equal(xCompF, want) {
+			fail("injection survived but a product changed")
+			return
+		}
+		res.Survived++
+	case errMapF != nil && errCompF != nil:
+		fm, okm := lbm.AsFault(errMapF)
+		fc, okc := lbm.AsFault(errCompF)
+		if !okm || !okc {
+			fail("untyped failure under injection: map=%v compiled=%v", errMapF, errCompF)
+			return
+		}
+		if *fm != *fc {
+			fail("engines detected different faults: map=%+v compiled=%+v", fm, fc)
+			return
+		}
+		res.Faulted++
+		res.FaultsByKind[fm.Kind.String()]++
+		logf("case %d (%s): both engines detected %v at round %d node %d", c, dc.label, fm.Kind, fm.Round, fm.Node)
+	default:
+		fail("engines disagree on whether a fault struck: map=%v compiled=%v", errMapF, errCompF)
+		return
+	}
+
+	// Phase 3: fault-free replay — a detection must leave no residue (the
+	// compiled engine recycles pooled executors across calls).
+	xMapR, errMapR := runEngine(dc, algo.EngineMap, nil)
+	xCompR, errCompR := runEngine(dc, algo.EngineCompiled, nil)
+	if errMapR != nil || errCompR != nil {
+		fail("fault-free replay errored: map=%v compiled=%v", errMapR, errCompR)
+		return
+	}
+	if !matrix.Equal(xMapR, want) || !matrix.Equal(xCompR, want) {
+		fail("fault-free replay product differs after an injected run")
+	}
+}

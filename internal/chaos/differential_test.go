@@ -1,0 +1,51 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestChaosDifferential is the acceptance harness: ≥200 randomized
+// (structure, ring, fault plan) cases through map-vs-compiled with
+// identical products on fault-free runs and identical typed faults under
+// injection. Short mode keeps a representative slice for quick CI laps.
+func TestChaosDifferential(t *testing.T) {
+	cases := 200
+	if testing.Short() {
+		cases = 40
+	}
+	res := Differential(DiffConfig{Cases: cases, Seed: 1, Log: t.Logf})
+	if res.Cases != cases {
+		t.Errorf("executed %d cases, want %d", res.Cases, cases)
+	}
+	if !res.OK() {
+		for _, f := range res.Failures {
+			t.Error(f)
+		}
+	}
+	if res.Clean != cases {
+		t.Errorf("clean fault-free runs %d, want %d", res.Clean, res.Cases)
+	}
+	// The draw profile guarantees a healthy mix: some cases must actually
+	// have faulted (guaranteed-strike profiles exist) and each armed
+	// non-strike must have survived cleanly.
+	if res.Faulted == 0 {
+		t.Error("no case detected a fault — injection is inert")
+	}
+	if len(res.FaultsByKind) < 2 {
+		t.Errorf("fault kinds seen: %v, want at least 2", res.FaultsByKind)
+	}
+	t.Log(res.Summary())
+}
+
+// TestDifferentialReplayStability: the same seed must reproduce the same
+// tallies — the harness itself is deterministic.
+func TestDifferentialReplayStability(t *testing.T) {
+	a := Differential(DiffConfig{Cases: 15, Seed: 99})
+	b := Differential(DiffConfig{Cases: 15, Seed: 99})
+	if a.Clean != b.Clean || a.Faulted != b.Faulted || a.Survived != b.Survived {
+		t.Errorf("replay diverged: %+v vs %+v", a, b)
+	}
+	if !a.OK() || !b.OK() {
+		t.Errorf("replay runs failed: %v / %v", a.Failures, b.Failures)
+	}
+}

@@ -97,11 +97,47 @@ func (p *Prepared) Multiply(a, b *matrix.Sparse) (*matrix.Sparse, *Report, error
 // (Report.Profile / Report.Timeline), recorded without mutating the shared
 // prepared state — the serving layer uses it for per-request traces.
 func (p *Prepared) MultiplyTraced(a, b *matrix.Sparse, trace bool) (*matrix.Sparse, *Report, error) {
+	return p.MultiplyOpts(a, b, ExecOpts{Trace: trace})
+}
+
+// ExecOpts are per-call execution options for MultiplyOpts. The zero value
+// is a plain Multiply on the prepared engine.
+type ExecOpts struct {
+	// Trace records a per-call execution profile into the Report.
+	Trace bool
+	// Engine overrides the prepared engine for this call only: "" keeps the
+	// prepared default, "compiled" and "map" force an engine. The serving
+	// layer's fault fallback re-serves a request on "map" after a compiled
+	// fault without touching the shared Prepared.
+	Engine string
+	// Injector subjects the execution to deterministic fault injection
+	// (chaos testing, docs/CHAOS.md); nil runs a perfect network.
+	Injector lbm.Injector
+}
+
+// MultiplyOpts executes the prepared plans on one value set with per-call
+// execution options. Like Multiply it is safe for concurrent use.
+func (p *Prepared) MultiplyOpts(a, b *matrix.Sparse, opts ExecOpts) (*matrix.Sparse, *Report, error) {
 	var mopts []lbm.Option
-	if trace {
+	if opts.Trace {
 		mopts = append(mopts, lbm.WithTrace())
 	}
-	x, res, err := p.inner.MultiplyWith(a, b, mopts...)
+	if opts.Injector != nil {
+		mopts = append(mopts, lbm.WithInjector(opts.Injector))
+	}
+	var (
+		x   *matrix.Sparse
+		res *algo.Result
+		err error
+	)
+	switch opts.Engine {
+	case "":
+		x, res, err = p.inner.MultiplyWith(a, b, mopts...)
+	case string(algo.EngineCompiled), string(algo.EngineMap):
+		x, res, err = p.inner.MultiplyOn(algo.Engine(opts.Engine), a, b, mopts...)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown engine %q (want %q or %q)", opts.Engine, algo.EngineCompiled, algo.EngineMap)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

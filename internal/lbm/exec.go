@@ -32,6 +32,9 @@ type Exec struct {
 
 	field     ring.Field
 	collector obsv.Collector
+	// injector and netRound mirror Machine's fault-injection seam (fault.go).
+	injector Injector
+	netRound int
 
 	arena [][]ring.Value
 	stamp [][]uint32 // slot present iff stamp == epoch
@@ -58,6 +61,7 @@ func NewExec(sizes []int32, r ring.Semiring, opts ...Option) *Exec {
 		ParBatch:   probe.ParBatch,
 		StoreLimit: probe.StoreLimit,
 		collector:  probe.collector,
+		injector:   probe.injector,
 		arena:      make([][]ring.Value, len(sizes)),
 		stamp:      make([][]uint32, len(sizes)),
 		epoch:      1,
@@ -88,6 +92,7 @@ func (x *Exec) Configure(opts ...Option) {
 	x.ParBatch = probe.ParBatch
 	x.StoreLimit = probe.StoreLimit
 	x.collector = probe.collector
+	x.injector = probe.injector
 }
 
 // SetCollector attaches (or, with nil, detaches) a collector.
@@ -243,6 +248,8 @@ func (x *Exec) Reset() {
 		x.stats.RecvLoad[i] = 0
 	}
 	x.collector = nil
+	x.injector = nil
+	x.netRound = 0
 }
 
 // Run executes every round of the compiled plan, replaying its phase spans
@@ -275,6 +282,11 @@ func (x *Exec) runRound(cp *CompiledPlan, t int) error {
 	lo, hi := int(cp.RoundOff[t]), int(cp.RoundOff[t+1])
 	if hi == lo {
 		return nil
+	}
+	if x.injector != nil {
+		if err := x.injectRound(cp, lo, hi); err != nil {
+			return err
+		}
 	}
 	size := hi - lo
 	if cap(x.payload) < size {

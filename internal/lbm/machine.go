@@ -196,6 +196,11 @@ type Machine struct {
 	// collector receives observability events; nil (the default) is the
 	// zero-overhead path — every hook is behind a single nil check.
 	collector obsv.Collector
+	// injector, when non-nil, subjects every round to fault injection (see
+	// fault.go); netRound is the global network round counter it is indexed
+	// by.
+	injector Injector
+	netRound int
 
 	// round-scoped scratch for O(1) constraint checks
 	sentAt, recvAt []int32
@@ -394,6 +399,11 @@ func (m *Machine) RunRound(r Round) error {
 	real, err := m.checkRound(r)
 	if err != nil {
 		return err
+	}
+	if m.injector != nil {
+		if err := m.injectRound(r); err != nil {
+			return err
+		}
 	}
 	payloads, err := m.gather(r)
 	if err != nil {
@@ -840,6 +850,7 @@ func (m *Machine) Reset() {
 		m.stats.SendLoad[i] = 0
 		m.stats.RecvLoad[i] = 0
 	}
+	m.netRound = 0
 	if p := m.Profile(); p != nil {
 		p.Reset()
 	}

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lbmm/internal/chaos"
+	"lbmm/internal/core"
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// dropAll is an injector that drops the first real message it sees —
+// guaranteed to fault any plan with network traffic.
+func dropAll() lbm.Injector {
+	return chaos.FaultPlan{Rates: chaos.Rates{Drop: 1}}.MustInjector()
+}
+
+func faultReq(r ring.Semiring, seed int64) (*MultiplyRequest, *matrix.Sparse) {
+	inst := workload.Blocks(16, 4)
+	a := matrix.Random(inst.Ahat, r, seed)
+	b := matrix.Random(inst.Bhat, r, seed+1)
+	want := matrix.MulReference(a, b, inst.Xhat)
+	return &MultiplyRequest{A: a, B: b, Xhat: inst.Xhat, Options: core.Options{Ring: r}}, want
+}
+
+// TestServerFaultRetry: a fault on the first compiled attempt is retried
+// within the budget and the retry serves the correct product — no fallback.
+func TestServerFaultRetry(t *testing.T) {
+	srv := NewServer(Config{
+		CacheSize: 4,
+		FaultInjector: func(engine string, attempt int) lbm.Injector {
+			if engine == "compiled" && attempt == 0 {
+				return dropAll()
+			}
+			return nil
+		},
+	})
+	req, want := faultReq(ring.Counting{}, 1)
+	resp, err := srv.Multiply(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(resp.X, want) {
+		t.Error("retried request served a wrong product")
+	}
+	m := srv.Metrics()
+	if m[MetricFaults] != 1 || m[MetricRetries] != 1 || m[MetricFallbacks] != 0 {
+		t.Errorf("faults=%d retries=%d fallbacks=%d, want 1/1/0",
+			m[MetricFaults], m[MetricRetries], m[MetricFallbacks])
+	}
+	if m[MetricServed] != 1 || m[MetricErrors] != 0 {
+		t.Errorf("served=%d errors=%d, want 1/0", m[MetricServed], m[MetricErrors])
+	}
+}
+
+// TestServerFaultFallback is the graceful-degradation acceptance check: when
+// the compiled engine faults on every attempt, the request is re-served on
+// the map engine, the product is still correct, and serve/fallbacks counts
+// the degradation.
+func TestServerFaultFallback(t *testing.T) {
+	srv := NewServer(Config{
+		CacheSize: 4,
+		FaultInjector: func(engine string, attempt int) lbm.Injector {
+			if engine == "compiled" {
+				return dropAll()
+			}
+			return nil
+		},
+	})
+	req, want := faultReq(ring.MinPlus{}, 7)
+	resp, err := srv.Multiply(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(resp.X, want) {
+		t.Error("fallback served a wrong product")
+	}
+	m := srv.Metrics()
+	// Default budget 1: two compiled attempts fault, one retry, one fallback.
+	if m[MetricFaults] != 2 || m[MetricRetries] != 1 || m[MetricFallbacks] != 1 {
+		t.Errorf("faults=%d retries=%d fallbacks=%d, want 2/1/1",
+			m[MetricFaults], m[MetricRetries], m[MetricFallbacks])
+	}
+	if m[MetricServed] != 1 || m[MetricErrors] != 0 {
+		t.Errorf("served=%d errors=%d, want 1/0", m[MetricServed], m[MetricErrors])
+	}
+}
+
+// TestServerFaultExhausted: when even the map fallback faults, the caller
+// gets the typed lbm.ErrFault with its provenance, counted as an error.
+func TestServerFaultExhausted(t *testing.T) {
+	srv := NewServer(Config{
+		CacheSize:     4,
+		FaultInjector: func(string, int) lbm.Injector { return dropAll() },
+	})
+	req, _ := faultReq(ring.Counting{}, 3)
+	_, err := srv.Multiply(context.Background(), req)
+	f, ok := lbm.AsFault(err)
+	if !ok {
+		t.Fatalf("err = %v, want a typed lbm.ErrFault", err)
+	}
+	if f.Kind != lbm.FaultDrop || f.Round < 0 || f.Node < 0 {
+		t.Errorf("fault lost provenance: %+v", f)
+	}
+	m := srv.Metrics()
+	if m[MetricFallbacks] != 1 || m[MetricErrors] != 1 || m[MetricServed] != 0 {
+		t.Errorf("fallbacks=%d errors=%d served=%d, want 1/1/0",
+			m[MetricFallbacks], m[MetricErrors], m[MetricServed])
+	}
+	// serve/faults counts every faulted attempt: 2 compiled + 1 map.
+	if m[MetricFaults] != 3 {
+		t.Errorf("faults=%d, want 3", m[MetricFaults])
+	}
+}
+
+// TestServerInvalidRequests: malformed requests fail upfront with ErrInvalid
+// — before admission, with nothing admitted or cached — exactly as Classify
+// always did.
+func TestServerInvalidRequests(t *testing.T) {
+	srv := NewServer(Config{CacheSize: 4})
+	ctx := context.Background()
+	r := ring.Counting{}
+	i16 := workload.Blocks(16, 4)
+	i32 := workload.Blocks(32, 4)
+	a16 := matrix.Random(i16.Ahat, r, 1)
+	b16 := matrix.Random(i16.Bhat, r, 2)
+	b32 := matrix.Random(i32.Bhat, r, 2)
+
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"multiply nil values", func() error {
+			_, err := srv.Multiply(ctx, &MultiplyRequest{A: a16, Xhat: i16.Xhat})
+			return err
+		}},
+		{"multiply dim mismatch", func() error {
+			_, err := srv.Multiply(ctx, &MultiplyRequest{A: a16, B: b32, Xhat: i16.Xhat})
+			return err
+		}},
+		{"multiply xhat mismatch", func() error {
+			_, err := srv.Multiply(ctx, &MultiplyRequest{A: a16, B: b16, Xhat: i32.Xhat})
+			return err
+		}},
+		{"prepare dim mismatch", func() error {
+			_, err := srv.Prepare(ctx, &PrepareRequest{Ahat: i16.Ahat, Bhat: i32.Bhat, Xhat: i16.Xhat})
+			return err
+		}},
+		{"classify dim mismatch", func() error {
+			_, err := srv.Classify(ctx, &ClassifyRequest{Ahat: i16.Ahat, Bhat: i32.Bhat, Xhat: i16.Xhat})
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if err := c.err(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+		}
+	}
+	m := srv.Metrics()
+	if m[MetricRequests] != 0 || m[MetricErrors] != 0 {
+		t.Errorf("invalid requests touched admission: requests=%d errors=%d",
+			m[MetricRequests], m[MetricErrors])
+	}
+}
+
+// TestWriteServeErrTaxonomy pins the HTTP status for every class in the
+// error taxonomy (docs/SERVICE.md).
+func TestWriteServeErrTaxonomy(t *testing.T) {
+	fault := &lbm.ErrFault{Kind: lbm.FaultDrop, Round: 2, Node: 3, From: 1, To: 3}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{errors.New("wrap: " + ErrInvalid.Error()), http.StatusInternalServerError},
+		{ErrInvalid, http.StatusBadRequest},
+		{errors.Join(ErrInvalid, errors.New("detail")), http.StatusBadRequest},
+		{ErrOverloaded, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, statusClientClosedRequest},
+		{fault, http.StatusInternalServerError},
+		{errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		writeServeErr(rec, c.err)
+		if rec.Code != c.want {
+			t.Errorf("writeServeErr(%v) = %d, want %d", c.err, rec.Code, c.want)
+		}
+	}
+}

@@ -334,14 +334,27 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, wireError{Error: err.Error()})
 }
 
-// writeServeErr maps server-side errors to status codes: load shedding is
-// 503 (retryable), deadline expiry 504, anything else 500.
+// statusClientClosedRequest is the (nginx-conventional) status for a
+// request whose caller hung up while it waited for admission; Go's net/http
+// has no named constant for it.
+const statusClientClosedRequest = 499
+
+// writeServeErr maps server-side errors to status codes — the error
+// taxonomy of docs/SERVICE.md: invalid requests are 400 (retrying unchanged
+// cannot succeed), load shedding 503 (retryable), deadline expiry 504,
+// caller cancellation 499, a network fault that survived the retry and
+// fallback policy 500 with its round/node provenance in the body, anything
+// else 500.
 func writeServeErr(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrInvalid):
+		writeErr(w, http.StatusBadRequest, err)
 	case errors.Is(err, ErrOverloaded):
 		writeErr(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeErr(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeErr(w, statusClientClosedRequest, err)
 	default:
 		writeErr(w, http.StatusInternalServerError, err)
 	}

@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lbmm/internal/algo"
 	"lbmm/internal/core"
+	"lbmm/internal/lbm"
 	"lbmm/internal/matrix"
 	"lbmm/internal/obsv"
 )
@@ -17,6 +19,11 @@ import (
 // a request because the admission queue is full. Callers should back off
 // and retry; the request was rejected before any work happened.
 var ErrOverloaded = errors.New("service: overloaded, request shed")
+
+// ErrInvalid is wrapped by every request-validation failure (and mapped to
+// HTTP 400): malformed requests are the caller's fault, not the server's,
+// and retrying them unchanged cannot succeed.
+var ErrInvalid = errors.New("service: invalid request")
 
 // Config tunes a Server. The zero value gets sensible defaults.
 type Config struct {
@@ -35,6 +42,17 @@ type Config struct {
 	// deadline (default 30s). Plan execution itself is not preempted; the
 	// deadline is admission control, not a watchdog.
 	Deadline time.Duration
+	// FaultBudget is how many times an execution that fails with a typed
+	// network fault (lbm.ErrFault) is retried on the compiled engine before
+	// the request degrades to the map engine (default 1; negative disables
+	// retries). Non-fault errors are never retried.
+	FaultBudget int
+	// FaultInjector, when non-nil, supplies the fault injector for each
+	// execution attempt — the hook chaos drills use to exercise the retry
+	// and fallback paths on a live server. engine is "compiled" or "map";
+	// attempt counts from zero across one request. A nil return runs that
+	// attempt on a perfect network.
+	FaultInjector func(engine string, attempt int) lbm.Injector
 	// Metrics receives the service counters; a fresh set when nil.
 	Metrics *obsv.CounterSet
 }
@@ -52,6 +70,11 @@ func (c Config) withDefaults() Config {
 	if c.Deadline <= 0 {
 		c.Deadline = 30 * time.Second
 	}
+	if c.FaultBudget == 0 {
+		c.FaultBudget = 1
+	} else if c.FaultBudget < 0 {
+		c.FaultBudget = 0
+	}
 	if c.Metrics == nil {
 		c.Metrics = obsv.NewCounterSet()
 	}
@@ -64,7 +87,11 @@ const (
 	MetricServed           = "serve/served"
 	MetricShed             = "serve/shed"
 	MetricDeadlineExceeded = "serve/deadline_exceeded"
+	MetricCanceled         = "serve/canceled"
 	MetricErrors           = "serve/errors"
+	MetricFaults           = "serve/faults"
+	MetricRetries          = "serve/retries"
+	MetricFallbacks        = "serve/fallbacks"
 	MetricQueueDepth       = "serve/queue_depth" // gauge
 	MetricActiveWorkers    = "serve/active"      // gauge
 )
@@ -94,23 +121,44 @@ func NewServer(cfg Config) *Server {
 // Cache exposes the server's plan cache (read-mostly introspection).
 func (s *Server) Cache() *Cache { return s.cache }
 
-// Metrics returns a snapshot of every service counter.
-func (s *Server) Metrics() map[string]int64 { return s.metrics.Snapshot() }
+// Metrics returns a snapshot of every service counter. The queue-depth and
+// active-worker gauges are overlaid from the live atomics at scrape time:
+// the in-flight Sets are best-effort (a delayed write can land out of
+// order), but a scrape always publishes the current values.
+func (s *Server) Metrics() map[string]int64 {
+	m := s.metrics.Snapshot()
+	m[MetricQueueDepth] = s.queued.Load()
+	m[MetricActiveWorkers] = s.active.Load()
+	return m
+}
 
 // Config returns the resolved (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// admit applies admission control: it bounds the number of waiters, then
-// blocks until a worker slot frees or the deadline passes. On success the
-// returned release function must be called when the request finishes.
+// admit applies admission control: a request that can take a worker slot
+// immediately is admitted without ever counting as a waiter; otherwise it
+// joins the bounded queue and blocks until a slot frees or its context
+// expires. Only genuine waiters count against QueueDepth, so a burst on an
+// idle server is never shed while slots are free. On success the returned
+// release function must be called when the request finishes.
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	s.metrics.Add(MetricRequests, 1)
-	if q := s.queued.Add(1); q > int64(s.cfg.QueueDepth) {
-		s.queued.Add(-1)
+	select {
+	case s.workers <- struct{}{}:
+		s.metrics.Set(MetricActiveWorkers, s.active.Add(1))
+		return s.release, nil
+	default:
+	}
+	// All workers are busy: this request is a waiter. Gauges are set from
+	// the atomic result of the same Add, not a separate Load, so concurrent
+	// admissions cannot publish a stale depth over a fresher one.
+	q := s.queued.Add(1)
+	if q > int64(s.cfg.QueueDepth) {
+		s.metrics.Set(MetricQueueDepth, s.queued.Add(-1))
 		s.metrics.Add(MetricShed, 1)
 		return nil, ErrOverloaded
 	}
-	s.metrics.Set(MetricQueueDepth, s.queued.Load())
+	s.metrics.Set(MetricQueueDepth, q)
 	if _, has := ctx.Deadline(); !has {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
@@ -118,19 +166,24 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	}
 	select {
 	case s.workers <- struct{}{}:
-		s.queued.Add(-1)
-		s.metrics.Set(MetricQueueDepth, s.queued.Load())
+		s.metrics.Set(MetricQueueDepth, s.queued.Add(-1))
 		s.metrics.Set(MetricActiveWorkers, s.active.Add(1))
-		return func() {
-			<-s.workers
-			s.metrics.Set(MetricActiveWorkers, s.active.Add(-1))
-		}, nil
+		return s.release, nil
 	case <-ctx.Done():
-		s.queued.Add(-1)
-		s.metrics.Set(MetricQueueDepth, s.queued.Load())
-		s.metrics.Add(MetricDeadlineExceeded, 1)
+		s.metrics.Set(MetricQueueDepth, s.queued.Add(-1))
+		if errors.Is(ctx.Err(), context.Canceled) {
+			s.metrics.Add(MetricCanceled, 1)
+		} else {
+			s.metrics.Add(MetricDeadlineExceeded, 1)
+		}
 		return nil, ctx.Err()
 	}
+}
+
+// release returns a worker slot taken by admit.
+func (s *Server) release() {
+	<-s.workers
+	s.metrics.Set(MetricActiveWorkers, s.active.Add(-1))
 }
 
 // prepared resolves (or compiles and caches) the plan for the given
@@ -182,12 +235,67 @@ type MultiplyResponse struct {
 	Profile *obsv.Export
 }
 
+// execute runs a prepared plan under the server's fault policy: up to
+// FaultBudget retries on the compiled engine when an attempt fails with a
+// typed network fault (counted as serve/retries), then one graceful
+// degradation onto the map engine (counted as serve/fallbacks). Non-fault
+// errors return immediately; a fault surviving even the fallback surfaces
+// to the caller with its provenance intact.
+func (s *Server) execute(prep *core.Prepared, a, b *matrix.Sparse, trace bool) (*matrix.Sparse, *core.Report, error) {
+	attempt := 0
+	inject := func(engine string) lbm.Injector {
+		if s.cfg.FaultInjector == nil {
+			return nil
+		}
+		inj := s.cfg.FaultInjector(engine, attempt)
+		attempt++
+		return inj
+	}
+	var err error
+	for try := 0; try <= s.cfg.FaultBudget; try++ {
+		var x *matrix.Sparse
+		var rep *core.Report
+		x, rep, err = prep.MultiplyOpts(a, b, core.ExecOpts{
+			Trace:    trace,
+			Engine:   string(algo.EngineCompiled),
+			Injector: inject(string(algo.EngineCompiled)),
+		})
+		if err == nil {
+			return x, rep, nil
+		}
+		if !lbm.IsFault(err) {
+			return nil, nil, err
+		}
+		s.metrics.Add(MetricFaults, 1)
+		if try < s.cfg.FaultBudget {
+			s.metrics.Add(MetricRetries, 1)
+		}
+	}
+	s.metrics.Add(MetricFallbacks, 1)
+	x, rep, err := prep.MultiplyOpts(a, b, core.ExecOpts{
+		Trace:    trace,
+		Engine:   string(algo.EngineMap),
+		Injector: inject(string(algo.EngineMap)),
+	})
+	if err != nil {
+		if lbm.IsFault(err) {
+			s.metrics.Add(MetricFaults, 1)
+		}
+		return nil, nil, err
+	}
+	return x, rep, nil
+}
+
 // Multiply serves one multiplication: admission control, plan-cache lookup
 // (compiling on a miss), then execution of the prepared plan against the
-// request's values.
+// request's values under the fault policy.
 func (s *Server) Multiply(ctx context.Context, req *MultiplyRequest) (*MultiplyResponse, error) {
 	if req.A == nil || req.B == nil || req.Xhat == nil {
-		return nil, fmt.Errorf("service: multiply needs A, B and Xhat")
+		return nil, fmt.Errorf("%w: multiply needs A, B and Xhat", ErrInvalid)
+	}
+	if n := req.A.Support().N; n != req.B.Support().N || n != req.Xhat.N {
+		return nil, fmt.Errorf("%w: dimension mismatch %d/%d/%d",
+			ErrInvalid, n, req.B.Support().N, req.Xhat.N)
 	}
 	release, err := s.admit(ctx)
 	if err != nil {
@@ -199,7 +307,7 @@ func (s *Server) Multiply(ctx context.Context, req *MultiplyRequest) (*MultiplyR
 		s.metrics.Add(MetricErrors, 1)
 		return nil, err
 	}
-	x, rep, err := prep.MultiplyTraced(req.A, req.B, req.Trace)
+	x, rep, err := s.execute(prep, req.A, req.B, req.Trace)
 	if err != nil {
 		s.metrics.Add(MetricErrors, 1)
 		return nil, err
@@ -231,7 +339,11 @@ type PrepareResponse struct {
 // calls with matching values start hot.
 func (s *Server) Prepare(ctx context.Context, req *PrepareRequest) (*PrepareResponse, error) {
 	if req.Ahat == nil || req.Bhat == nil || req.Xhat == nil {
-		return nil, fmt.Errorf("service: prepare needs Ahat, Bhat and Xhat")
+		return nil, fmt.Errorf("%w: prepare needs Ahat, Bhat and Xhat", ErrInvalid)
+	}
+	if req.Ahat.N != req.Bhat.N || req.Ahat.N != req.Xhat.N {
+		return nil, fmt.Errorf("%w: dimension mismatch %d/%d/%d",
+			ErrInvalid, req.Ahat.N, req.Bhat.N, req.Xhat.N)
 	}
 	release, err := s.admit(ctx)
 	if err != nil {
@@ -269,10 +381,11 @@ type ClassifyResponse struct {
 // particular) are support-sized work, not constant-time.
 func (s *Server) Classify(ctx context.Context, req *ClassifyRequest) (*ClassifyResponse, error) {
 	if req.Ahat == nil || req.Bhat == nil || req.Xhat == nil {
-		return nil, fmt.Errorf("service: classify needs Ahat, Bhat and Xhat")
+		return nil, fmt.Errorf("%w: classify needs Ahat, Bhat and Xhat", ErrInvalid)
 	}
 	if req.Ahat.N != req.Bhat.N || req.Ahat.N != req.Xhat.N {
-		return nil, fmt.Errorf("service: dimension mismatch %d/%d/%d", req.Ahat.N, req.Bhat.N, req.Xhat.N)
+		return nil, fmt.Errorf("%w: dimension mismatch %d/%d/%d",
+			ErrInvalid, req.Ahat.N, req.Bhat.N, req.Xhat.N)
 	}
 	release, err := s.admit(ctx)
 	if err != nil {
