@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lbmm/internal/core"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// runBenchPR5 measures the dynamic-batching win: per-lane throughput of
+// MultiplyBatch at lane counts k ∈ {1, 4, 16} on the compiled engine,
+// against the same plan. k = 1 is the unbatched baseline (one lane per
+// instruction walk); larger k amortises the walk across lanes. The JSON
+// artifact is committed as BENCH_PR5.json.
+
+type benchLanePoint struct {
+	Lanes       int     `json:"lanes"`
+	Iters       int     `json:"iters"`
+	NsPerLane   float64 `json:"ns_per_lane"`
+	LanesPerSec float64 `json:"lanes_per_sec"`
+	// Speedup is this point's per-lane throughput over the k=1 baseline.
+	Speedup float64 `json:"speedup_vs_k1"`
+}
+
+type benchBatchCase struct {
+	Name      string           `json:"name"`
+	N         int              `json:"n"`
+	D         int              `json:"d"`
+	Algorithm string           `json:"algorithm"`
+	Ring      string           `json:"ring"`
+	Points    []benchLanePoint `json:"points"`
+}
+
+type benchPR5Report struct {
+	Schema    string           `json:"schema"`
+	GoVersion string           `json:"go_version"`
+	Cases     []benchBatchCase `json:"cases"`
+}
+
+func runBenchPR5(n, d, iters int, outPath string) error {
+	if iters <= 0 {
+		iters = 50
+	}
+	type spec struct {
+		name string
+		alg  string
+		r    ring.Semiring
+	}
+	specs := []spec{
+		{"lemma31/counting", "lemma31", ring.Counting{}},
+		{"theorem42/real", "theorem42", ring.Real{}},
+	}
+	laneCounts := []int{1, 4, 16}
+	report := benchPR5Report{Schema: "lbmm.bench_pr5.v1", GoVersion: runtime.Version()}
+	for _, sp := range specs {
+		inst := workload.Instance(matrix.US, matrix.US, matrix.US, n, d, 42)
+		prep, err := core.Prepare(inst.Ahat, inst.Bhat, inst.Xhat, core.Options{
+			Ring: sp.r, D: d, Algorithm: sp.alg, Engine: "compiled",
+		})
+		if err != nil {
+			return fmt.Errorf("%s: prepare: %w", sp.name, err)
+		}
+		bc := benchBatchCase{Name: sp.name, N: n, D: d, Algorithm: sp.alg, Ring: sp.r.Name()}
+		for _, k := range laneCounts {
+			as := make([]*matrix.Sparse, k)
+			bs := make([]*matrix.Sparse, k)
+			for l := 0; l < k; l++ {
+				as[l] = matrix.Random(inst.Ahat, sp.r, int64(2*l+1))
+				bs[l] = matrix.Random(inst.Bhat, sp.r, int64(2*l+2))
+			}
+			// Warm up (lane-sized exec pools, hot code paths) before timing.
+			for i := 0; i < 2; i++ {
+				if _, _, err := prep.MultiplyBatch(as, bs, core.ExecOpts{}); err != nil {
+					return fmt.Errorf("%s k=%d: %w", sp.name, k, err)
+				}
+			}
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, _, err := prep.MultiplyBatch(as, bs, core.ExecOpts{}); err != nil {
+					return fmt.Errorf("%s k=%d: %w", sp.name, k, err)
+				}
+			}
+			total := time.Since(start)
+			lanes := float64(iters * k)
+			bc.Points = append(bc.Points, benchLanePoint{
+				Lanes:       k,
+				Iters:       iters,
+				NsPerLane:   float64(total.Nanoseconds()) / lanes,
+				LanesPerSec: lanes / total.Seconds(),
+			})
+		}
+		base := bc.Points[0].NsPerLane
+		for i := range bc.Points {
+			bc.Points[i].Speedup = base / bc.Points[i].NsPerLane
+		}
+		report.Cases = append(report.Cases, bc)
+		for _, pt := range bc.Points {
+			fmt.Printf("%-20s k=%-3d %10.0f ns/lane  %12.0f lanes/s  speedup %.2fx\n",
+				sp.name, pt.Lanes, pt.NsPerLane, pt.LanesPerSec, pt.Speedup)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		outPath = "BENCH_PR5.json"
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -18,12 +18,16 @@
 //	                        one multiplication with a full report + timeline
 //	lbmm gen  [-n N] [-d D] -o PREFIX   write a generated instance to files
 //	lbmm solve -a A.mtx -b B.mtx -x XHAT.mtx [-o OUT.mtx]   solve from files
-//	lbmm serve [-addr :8080] [-cache N] [-cache-mb MB] [-workers N] [-queue N] [-deadline D]
+//	lbmm serve [-addr :8080] [-cache N] [-cache-mb MB] [-workers N] [-queue N] [-deadline D] [-batch K] [-batch-delay D]
 //	                        HTTP/JSON multiply server with a prepared-plan
-//	                        cache and admission control (docs/SERVICE.md)
+//	                        cache, admission control and dynamic batching
+//	                        (docs/SERVICE.md)
 //	lbmm benchpr3 [-n N] [-d D] [-iters K] [-o BENCH_PR3.json]
 //	                        prepare-once/multiply-many benchmark of the map
 //	                        vs compiled execution engines
+//	lbmm benchpr5 [-n N] [-d D] [-iters K] [-o BENCH_PR5.json]
+//	                        batched vs unbatched throughput at lane counts
+//	                        k ∈ {1, 4, 16} on the compiled engine
 //	lbmm chaos [-cases N] [-seed S] [-verbose]
 //	                        chaos differential harness: randomized fault
 //	                        plans through both engines (docs/CHAOS.md)
@@ -72,6 +76,8 @@ func main() {
 	workers := fs.Int("workers", 0, "serve: worker pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "serve: admission queue depth (0 = 4×workers)")
 	deadline := fs.Duration("deadline", 0, "serve: default per-request deadline (0 = 30s)")
+	batchSize := fs.Int("batch", 0, "serve: max lanes coalesced per batch (0 or 1 = batching off)")
+	batchDelay := fs.Duration("batch-delay", 0, "serve: max time a request waits for lane-mates (0 = 2ms when batching)")
 	engine := fs.String("engine", "", "demo: execution engine (compiled|map; default compiled)")
 	iters := fs.Int("iters", 50, "benchpr3: multiplications per engine")
 	cases := fs.Int("cases", 200, "chaos: randomized differential cases")
@@ -118,9 +124,11 @@ func main() {
 	case "solve":
 		err = runSolve(*aPath, *bPath, *xPath, *outPath, *ringName)
 	case "serve":
-		err = runServe(*addr, *cacheSize, *cacheMB, *workers, *queue, *deadline)
+		err = runServe(*addr, *cacheSize, *cacheMB, *workers, *queue, *deadline, *batchSize, *batchDelay)
 	case "benchpr3":
 		err = runBenchPR3(*n, *d, *iters, *outPath)
+	case "benchpr5":
+		err = runBenchPR5(*n, *d, *iters, *outPath)
 	case "chaos":
 		err = runChaos(*cases, *seed, *verbose)
 	case "all":
@@ -150,7 +158,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|benchpr3|chaos|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|benchpr3|benchpr5|chaos|all> [flags]`)
 }
 
 func runTable1(scale exper.Scale, profile bool) error {

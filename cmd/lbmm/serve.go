@@ -9,18 +9,30 @@ import (
 )
 
 // runServe starts the HTTP serving layer: a prepared-plan cache with
-// admission control in front, speaking the JSON API of docs/SERVICE.md.
-func runServe(addr string, cacheSize, cacheMB, workers, queueDepth int, deadline time.Duration) error {
-	srv := service.NewServer(service.Config{
+// admission control and (optionally) dynamic batching in front, speaking
+// the JSON API of docs/SERVICE.md.
+func runServe(addr string, cacheSize, cacheMB, workers, queueDepth int, deadline time.Duration, batchSize int, batchDelay time.Duration) error {
+	cfg := service.Config{
 		CacheSize:  cacheSize,
 		CacheBytes: int64(cacheMB) << 20,
 		Workers:    workers,
 		QueueDepth: queueDepth,
 		Deadline:   deadline,
-	})
-	cfg := srv.Config()
+		BatchSize:  batchSize,
+		BatchDelay: batchDelay,
+	}
+	// Validate up front so a bad flag is a friendly CLI error, not a panic
+	// out of NewServer.
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	srv := service.NewServer(cfg)
+	eff := srv.Config()
 	fmt.Printf("lbmm serve: listening on %s (cache %d plans / %d MiB, %d workers, queue %d, deadline %s)\n",
-		addr, cfg.CacheSize, cfg.CacheBytes>>20, cfg.Workers, cfg.QueueDepth, cfg.Deadline)
-	fmt.Printf("  POST /v1/multiply  POST /v1/prepare  POST /v1/classify  GET /healthz  GET /metrics\n")
+		addr, eff.CacheSize, eff.CacheBytes>>20, eff.Workers, eff.QueueDepth, eff.Deadline)
+	if eff.BatchSize > 1 {
+		fmt.Printf("  batching: up to %d lanes per plan, max delay %s\n", eff.BatchSize, eff.BatchDelay)
+	}
+	fmt.Printf("  POST /v1/multiply  POST /v1/multiply/batch  POST /v1/prepare  POST /v1/classify  GET /healthz  GET /metrics\n")
 	return http.ListenAndServe(addr, service.NewHandler(srv))
 }

@@ -66,6 +66,10 @@ type Result struct {
 	// structure-dissemination phase (zero in the supported model).
 	SupportWords        int
 	DisseminationRounds int
+	// Lanes is the number of value assignments a batched multiply carried
+	// (zero for a scalar Multiply). Stats/Rounds are per-batch, not
+	// per-lane: the whole batch paid one instruction walk.
+	Lanes int
 }
 
 // Algorithm solves a loaded instance on a machine. Inputs must be loaded

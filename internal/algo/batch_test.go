@@ -1,0 +1,140 @@
+package algo
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// TestMultiplyBatchDifferential is the batched differential property test
+// over the full algorithm × ring matrix: MultiplyBatch over k random value
+// assignments must equal k independent Multiply calls, on both engines,
+// lane for lane — and the compiled batch's Stats must equal a scalar run's
+// (one shared walk, per-slot accounting).
+func TestMultiplyBatchDifferential(t *testing.T) {
+	preps := []struct {
+		name string
+		mk   func(r ring.Semiring, seed int64) (*Prepared, error)
+	}{
+		{"lemma31/blocks", func(r ring.Semiring, seed int64) (*Prepared, error) {
+			return PrepareLemma31(r, workload.Blocks(32, 4))
+		}},
+		{"lemma31/mixed", func(r ring.Semiring, seed int64) (*Prepared, error) {
+			return PrepareLemma31(r, workload.Mixed(40, 4, seed))
+		}},
+		{"theorem42/blocks", func(r ring.Semiring, seed int64) (*Prepared, error) {
+			return PrepareTheorem42(r, workload.Blocks(32, 4), Theorem42Opts{})
+		}},
+		{"theorem42/mixed", func(r ring.Semiring, seed int64) (*Prepared, error) {
+			return PrepareTheorem42(r, workload.Mixed(40, 4, seed), Theorem42Opts{})
+		}},
+	}
+	rings := []ring.Semiring{ring.Counting{}, ring.MinPlus{}, ring.Real{}, ring.NewGFp(1009)}
+
+	for _, pf := range preps {
+		for _, r := range rings {
+			seed := int64(1)
+			label := fmt.Sprintf("%s/%s", pf.name, r.Name())
+			p, err := pf.mk(r, seed)
+			if err != nil {
+				t.Fatalf("%s: prepare: %v", label, err)
+			}
+			const k = 5
+			as := make([]*matrix.Sparse, k)
+			bs := make([]*matrix.Sparse, k)
+			want := make([]*matrix.Sparse, k)
+			var wantStats lbm.Stats
+			for l := 0; l < k; l++ {
+				as[l] = matrix.Random(p.Inst.Ahat, r, 100*seed+int64(2*l))
+				bs[l] = matrix.Random(p.Inst.Bhat, r, 100*seed+int64(2*l+1))
+				x, res, err := p.MultiplyOn(EngineCompiled, as[l], bs[l])
+				if err != nil {
+					t.Fatalf("%s: scalar lane %d: %v", label, l, err)
+				}
+				want[l] = x
+				wantStats = res.Stats
+			}
+			for _, e := range []struct {
+				name   string
+				engine Engine
+				opts   []lbm.Option
+			}{
+				{"map", EngineMap, nil},
+				{"compiled/seq", EngineCompiled, nil},
+				{"compiled/par", EngineCompiled, []lbm.Option{lbm.WithWorkers(4), lbm.WithParBatch(1)}},
+			} {
+				outs, res, err := p.MultiplyBatchOn(e.engine, as, bs, e.opts...)
+				if err != nil {
+					t.Fatalf("%s: %s: %v", label, e.name, err)
+				}
+				if len(outs) != k || res.Lanes != k {
+					t.Fatalf("%s: %s: got %d outputs, Lanes=%d, want %d", label, e.name, len(outs), res.Lanes, k)
+				}
+				for l := 0; l < k; l++ {
+					if !matrix.Equal(outs[l], want[l]) {
+						t.Errorf("%s: %s: lane %d output differs from independent Multiply", label, e.name, l)
+					}
+				}
+				if e.engine == EngineCompiled && !reflect.DeepEqual(res.Stats, wantStats) {
+					t.Errorf("%s: %s: batch stats differ from scalar run\n got %+v\nwant %+v",
+						label, e.name, res.Stats, wantStats)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiplyBatchValidation pins the batch input contract: empty batches,
+// mismatched lane counts and out-of-structure lanes are rejected with the
+// offending lane named.
+func TestMultiplyBatchValidation(t *testing.T) {
+	r := ring.Counting{}
+	p, err := PrepareLemma31(r, workload.Blocks(16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random(p.Inst.Ahat, r, 1)
+	b := matrix.Random(p.Inst.Bhat, r, 2)
+	if _, _, err := p.MultiplyBatch(nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, _, err := p.MultiplyBatch([]*matrix.Sparse{a, a}, []*matrix.Sparse{b}); err == nil {
+		t.Error("mismatched lane counts accepted")
+	}
+	bad := matrix.NewSparse(p.Inst.Ahat.N, r)
+	bad.Set(0, p.Inst.Ahat.N-1, 1)
+	if within(bad, p.Inst.Ahat) == nil {
+		t.Skip("random structure covers the probe position")
+	}
+	if _, _, err := p.MultiplyBatch([]*matrix.Sparse{a, bad}, []*matrix.Sparse{b, b}); err == nil {
+		t.Error("out-of-structure lane accepted")
+	}
+}
+
+// TestMultiplyBatchSingleLane pins that a 1-lane batch goes through the
+// scalar pool and matches Multiply exactly (the coalescer's k=1 case).
+func TestMultiplyBatchSingleLane(t *testing.T) {
+	r := ring.Real{}
+	p, err := PrepareTheorem42(r, workload.Blocks(32, 4), Theorem42Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random(p.Inst.Ahat, r, 3)
+	b := matrix.Random(p.Inst.Bhat, r, 4)
+	want, _, err := p.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, res, err := p.MultiplyBatch([]*matrix.Sparse{a}, []*matrix.Sparse{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lanes != 1 || !matrix.Equal(outs[0], want) {
+		t.Errorf("single-lane batch mismatch (Lanes=%d)", res.Lanes)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"lbmm/internal/fewtri"
 	"lbmm/internal/lbm"
 	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
 )
 
 // Engine selects the execution engine of a prepared multiplication.
@@ -45,7 +46,29 @@ type compiledPrepared struct {
 	stagingClear []lbm.SlotRef
 	few          *fewtri.CompiledJob
 	bytes        int64
+	r            ring.Semiring
 	pool         sync.Pool
+	// lanePools holds one executor pool per batched lane count (lanes > 1):
+	// arenas are sized slots×lanes, so executors only recycle within their
+	// own lane count. Key int → value *sync.Pool of *lbm.Exec.
+	lanePools sync.Map
+}
+
+// execFor returns a pooled executor carrying the given lane count, plus the
+// pool to return it to after Reset.
+func (cp *compiledPrepared) execFor(lanes int) (*lbm.Exec, *sync.Pool) {
+	if lanes <= 1 {
+		return cp.pool.Get().(*lbm.Exec), &cp.pool
+	}
+	pi, ok := cp.lanePools.Load(lanes)
+	if !ok {
+		sizes, r := cp.sizes, cp.r
+		pi, _ = cp.lanePools.LoadOrStore(lanes, &sync.Pool{
+			New: func() any { return lbm.NewExecBatch(sizes, lanes, r) },
+		})
+	}
+	pool := pi.(*sync.Pool)
+	return pool.Get().(*lbm.Exec), pool
 }
 
 // compilePrepared lowers a Prepared into its compiled twin. The lowering
@@ -105,6 +128,7 @@ func compilePrepared(p *Prepared) (*compiledPrepared, error) {
 	}
 	r := p.R
 	sizes := cp.sizes
+	cp.r = r
 	cp.pool.New = func() any { return lbm.NewExec(sizes, r) }
 	return cp, nil
 }

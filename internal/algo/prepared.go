@@ -160,10 +160,10 @@ func (p *Prepared) MultiplyWith(a, b *matrix.Sparse, mopts ...lbm.Option) (*matr
 // without a compiled form degrades to the map engine, mirroring the default
 // dispatch.
 func (p *Prepared) MultiplyOn(e Engine, a, b *matrix.Sparse, mopts ...lbm.Option) (*matrix.Sparse, *Result, error) {
-	if err := within(a.Support(), p.Inst.Ahat); err != nil {
+	if err := within(a, p.Inst.Ahat); err != nil {
 		return nil, nil, fmt.Errorf("algo: A %w", err)
 	}
-	if err := within(b.Support(), p.Inst.Bhat); err != nil {
+	if err := within(b, p.Inst.Bhat); err != nil {
 		return nil, nil, fmt.Errorf("algo: B %w", err)
 	}
 	if e == EngineCompiled && p.compiled != nil {
@@ -212,16 +212,26 @@ func (p *Prepared) MultiplyOn(e Engine, a, b *matrix.Sparse, mopts ...lbm.Option
 	return got, &res, nil
 }
 
-// within checks that sub's entries all lie inside sup.
-func within(sub, sup *matrix.Support) error {
-	if sub.N != sup.N {
-		return fmt.Errorf("dimension %d outside prepared structure %d", sub.N, sup.N)
+// within checks that m's stored entries all lie inside sup. It walks the
+// sparse rows directly — materializing m.Support() just to validate would
+// dominate the per-value-set cost of a prepared multiply.
+func within(m *matrix.Sparse, sup *matrix.Support) error {
+	if m.N != sup.N {
+		return fmt.Errorf("dimension %d outside prepared structure %d", m.N, sup.N)
 	}
-	for i, row := range sub.Rows {
-		for _, j := range row {
-			if !sup.Has(i, int(j)) {
-				return fmt.Errorf("value at (%d,%d) outside the prepared structure", i, j)
+	for i, row := range m.Rows {
+		// Both row lists are sorted, so a tandem walk beats a binary search
+		// per entry.
+		sr := sup.Rows[i]
+		k := 0
+		for _, c := range row {
+			for k < len(sr) && sr[k] < c.Col {
+				k++
 			}
+			if k == len(sr) || sr[k] != c.Col {
+				return fmt.Errorf("value at (%d,%d) outside the prepared structure", i, c.Col)
+			}
+			k++
 		}
 	}
 	return nil

@@ -1,0 +1,163 @@
+package batch
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// sink collects launched groups for assertions.
+type sink struct {
+	mu     sync.Mutex
+	groups [][]int
+	keys   []string
+	whys   []Reason
+}
+
+func (s *sink) run(key string, items []int, why Reason) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groups = append(s.groups, items)
+	s.keys = append(s.keys, key)
+	s.whys = append(s.whys, why)
+}
+
+// TestCoalescerFull pins the size trigger: MaxBatch submissions to one key
+// launch exactly one group of MaxBatch, ReasonFull, in submission order.
+func TestCoalescerFull(t *testing.T) {
+	s := &sink{}
+	c := New[int](Config{MaxBatch: 3, MaxDelay: time.Hour}, s.run)
+	for i := 0; i < 3; i++ {
+		if err := c.Submit("k", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	if len(s.groups) != 1 || len(s.groups[0]) != 3 || s.whys[0] != ReasonFull {
+		t.Fatalf("groups %v whys %v", s.groups, s.whys)
+	}
+	for i, v := range s.groups[0] {
+		if v != i {
+			t.Fatalf("submission order lost: %v", s.groups[0])
+		}
+	}
+}
+
+// TestCoalescerTimeout pins the delay trigger: a lone submission launches
+// after MaxDelay with ReasonTimeout.
+func TestCoalescerTimeout(t *testing.T) {
+	s := &sink{}
+	done := make(chan struct{})
+	c := New[int](Config{MaxBatch: 8, MaxDelay: 5 * time.Millisecond},
+		func(key string, items []int, why Reason) {
+			s.run(key, items, why)
+			close(done)
+		})
+	if err := c.Submit("k", 42); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout launch never fired")
+	}
+	c.Close()
+	if len(s.groups) != 1 || s.whys[0] != ReasonTimeout || s.groups[0][0] != 42 {
+		t.Fatalf("groups %v whys %v", s.groups, s.whys)
+	}
+}
+
+// TestCoalescerKeys pins that different keys never share a group.
+func TestCoalescerKeys(t *testing.T) {
+	s := &sink{}
+	c := New[int](Config{MaxBatch: 2, MaxDelay: time.Hour}, s.run)
+	c.Submit("a", 1)
+	c.Submit("b", 2)
+	c.Submit("a", 3)
+	c.Submit("b", 4)
+	c.Close()
+	if len(s.groups) != 2 {
+		t.Fatalf("want 2 groups, got %v", s.groups)
+	}
+	for i, g := range s.groups {
+		if len(g) != 2 {
+			t.Errorf("group %d (%s): %v", i, s.keys[i], g)
+		}
+	}
+}
+
+// TestCoalescerImmediate pins that MaxBatch <= 1 or MaxDelay <= 0 degrade
+// to immediate singleton launches (batching off).
+func TestCoalescerImmediate(t *testing.T) {
+	for _, cfg := range []Config{
+		{MaxBatch: 1, MaxDelay: time.Hour},
+		{MaxBatch: 8, MaxDelay: 0},
+	} {
+		s := &sink{}
+		c := New[int](cfg, s.run)
+		c.Submit("k", 1)
+		c.Submit("k", 2)
+		c.Close()
+		if len(s.groups) != 2 {
+			t.Errorf("cfg %+v: want 2 singleton launches, got %v", cfg, s.groups)
+		}
+		for _, why := range s.whys {
+			if why != ReasonImmediate {
+				t.Errorf("cfg %+v: reason %s", cfg, why)
+			}
+		}
+	}
+}
+
+// TestCoalescerClose pins the drain contract: Close flushes pending groups
+// (ReasonFlush), waits for them, and rejects later submissions.
+func TestCoalescerClose(t *testing.T) {
+	s := &sink{}
+	c := New[int](Config{MaxBatch: 8, MaxDelay: time.Hour}, s.run)
+	c.Submit("k", 1)
+	c.Submit("k", 2)
+	if got := c.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	c.Close()
+	if len(s.groups) != 1 || s.whys[0] != ReasonFlush || len(s.groups[0]) != 2 {
+		t.Fatalf("groups %v whys %v", s.groups, s.whys)
+	}
+	if err := c.Submit("k", 3); err != ErrClosed {
+		t.Fatalf("Submit after Close: %v", err)
+	}
+}
+
+// TestCoalescerConcurrent hammers one key from many goroutines under the
+// race detector: every submission must land in exactly one group and group
+// sizes must never exceed MaxBatch.
+func TestCoalescerConcurrent(t *testing.T) {
+	s := &sink{}
+	c := New[int](Config{MaxBatch: 4, MaxDelay: time.Millisecond}, s.run)
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Submit("k", i)
+		}(i)
+	}
+	wg.Wait()
+	c.Close()
+	seen := map[int]bool{}
+	for _, g := range s.groups {
+		if len(g) > 4 {
+			t.Errorf("group over MaxBatch: %v", g)
+		}
+		for _, v := range g {
+			if seen[v] {
+				t.Errorf("item %d launched twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != n {
+		t.Errorf("launched %d of %d items", len(seen), n)
+	}
+}

@@ -143,3 +143,37 @@ func (p *Prepared) MultiplyOpts(a, b *matrix.Sparse, opts ExecOpts) (*matrix.Spa
 	}
 	return x, &Report{Result: *res, Classes: p.Classes, D: p.D, Band: p.Band}, nil
 }
+
+// MultiplyBatch executes the prepared plans on k value sets in one batched
+// run: on the compiled engine every lane shares one instruction-stream
+// walk, so the batch pays roughly one multiply's decode and bookkeeping
+// regardless of k. Outputs come back lane for lane (outs[l] = as[l]·bs[l]);
+// the Report describes the whole batch (Report.Lanes = k). A fault fails
+// the whole batch — lanes share every round, so there is no partial
+// success. Safe for concurrent use, like Multiply.
+func (p *Prepared) MultiplyBatch(as, bs []*matrix.Sparse, opts ExecOpts) ([]*matrix.Sparse, *Report, error) {
+	var mopts []lbm.Option
+	if opts.Trace {
+		mopts = append(mopts, lbm.WithTrace())
+	}
+	if opts.Injector != nil {
+		mopts = append(mopts, lbm.WithInjector(opts.Injector))
+	}
+	var (
+		outs []*matrix.Sparse
+		res  *algo.Result
+		err  error
+	)
+	switch opts.Engine {
+	case "":
+		outs, res, err = p.inner.MultiplyBatchWith(as, bs, mopts...)
+	case string(algo.EngineCompiled), string(algo.EngineMap):
+		outs, res, err = p.inner.MultiplyBatchOn(algo.Engine(opts.Engine), as, bs, mopts...)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown engine %q (want %q or %q)", opts.Engine, algo.EngineCompiled, algo.EngineMap)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs, &Report{Result: *res, Classes: p.Classes, D: p.D, Band: p.Band}, nil
+}

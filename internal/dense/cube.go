@@ -24,6 +24,7 @@ import (
 
 	"lbmm/internal/graph"
 	"lbmm/internal/lbm"
+	"lbmm/internal/ring"
 	"lbmm/internal/routing"
 	"lbmm/internal/vnet"
 )
@@ -400,10 +401,22 @@ func (ccp *CompiledCubeProgram) Run(x *lbm.Exec) error {
 	if err != nil {
 		return fmt.Errorf("dense: distribute: %w", err)
 	}
-	for _, p := range ccp.prods {
-		av := x.MustGetSlot(p.a)
-		bv := x.MustGetSlot(p.b)
-		x.AccSlot(p.dst, x.R.Mul(av, bv))
+	if K := x.Lanes(); K == 1 {
+		for _, p := range ccp.prods {
+			av := x.MustGetSlot(p.a)
+			bv := x.MustGetSlot(p.b)
+			x.AccSlot(p.dst, x.R.Mul(av, bv))
+		}
+	} else {
+		buf := make([]ring.Value, K)
+		for _, p := range ccp.prods {
+			as := x.MustLanes(p.a)
+			bs := x.MustLanes(p.b)
+			for l := 0; l < K; l++ {
+				buf[l] = x.R.Mul(as[l], bs[l])
+			}
+			x.AccLanes(p.dst, buf)
+		}
 	}
 	x.BeginPhase("aggregate")
 	err = x.Run(ccp.agg)

@@ -773,27 +773,33 @@ func (csp *CompiledStrassenProgram) Run(x *lbm.Exec) error {
 }
 
 // runCompiledLeaf multiplies one leaf subproblem locally at its host,
-// reading and writing arena slots instead of map keys.
+// reading and writing arena slots instead of map keys. On a lane-strided
+// executor the local product runs once per lane (local math is free in the
+// model either way); every lane of each output slot is written, as PutLane
+// requires.
 func runCompiledLeaf(x *lbm.Exec, f ring.Field, cl compiledLeaf) {
 	size := cl.size
 	a := make([]ring.Value, size*size)
 	b := make([]ring.Value, size*size)
-	for i := range a {
-		if cl.a[i] >= 0 {
-			if v, ok := x.GetSlot(lbm.SlotRef{Node: cl.host, Slot: cl.a[i]}); ok {
-				a[i] = v
+	for lane := 0; lane < x.Lanes(); lane++ {
+		for i := range a {
+			a[i], b[i] = 0, 0
+			if cl.a[i] >= 0 {
+				if v, ok := x.GetLane(lbm.SlotRef{Node: cl.host, Slot: cl.a[i]}, lane); ok {
+					a[i] = v
+				}
+			}
+			if cl.b[i] >= 0 {
+				if v, ok := x.GetLane(lbm.SlotRef{Node: cl.host, Slot: cl.b[i]}, lane); ok {
+					b[i] = v
+				}
 			}
 		}
-		if cl.b[i] >= 0 {
-			if v, ok := x.GetSlot(lbm.SlotRef{Node: cl.host, Slot: cl.b[i]}); ok {
-				b[i] = v
+		c := LocalMul(f, a, b, int(size))
+		for i := range c {
+			if cl.c[i] >= 0 {
+				x.PutLane(lbm.SlotRef{Node: cl.host, Slot: cl.c[i]}, lane, c[i])
 			}
-		}
-	}
-	c := LocalMul(f, a, b, int(size))
-	for i := range c {
-		if cl.c[i] >= 0 {
-			x.PutSlot(lbm.SlotRef{Node: cl.host, Slot: cl.c[i]}, c[i])
 		}
 	}
 }

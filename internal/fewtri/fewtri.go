@@ -32,6 +32,7 @@ import (
 
 	"lbmm/internal/graph"
 	"lbmm/internal/lbm"
+	"lbmm/internal/ring"
 	"lbmm/internal/routing"
 )
 
@@ -509,12 +510,27 @@ func RunCompiled(x *lbm.Exec, cj *CompiledJob) error {
 		}
 	}
 	x.BeginPhase("products")
-	for _, prods := range cj.prods {
-		x.Counter("triangles", float64(len(prods)))
-		for _, p := range prods {
-			av := x.MustGetSlot(p.a)
-			bv := x.MustGetSlot(p.b)
-			x.AccSlot(p.dst, x.R.Mul(av, bv))
+	if K := x.Lanes(); K == 1 {
+		for _, prods := range cj.prods {
+			x.Counter("triangles", float64(len(prods)))
+			for _, p := range prods {
+				av := x.MustGetSlot(p.a)
+				bv := x.MustGetSlot(p.b)
+				x.AccSlot(p.dst, x.R.Mul(av, bv))
+			}
+		}
+	} else {
+		buf := make([]ring.Value, K)
+		for _, prods := range cj.prods {
+			x.Counter("triangles", float64(len(prods)))
+			for _, p := range prods {
+				as := x.MustLanes(p.a)
+				bs := x.MustLanes(p.b)
+				for l := 0; l < K; l++ {
+					buf[l] = x.R.Mul(as[l], bs[l])
+				}
+				x.AccLanes(p.dst, buf)
+			}
 		}
 	}
 	x.EndPhase()

@@ -22,6 +22,15 @@ import (
 // runWithSpans walk) and the same StoreLimit semantics. The map engine
 // stays the reference oracle; the differential tests in internal/algo hold
 // the two to identical outputs and identical Stats.
+//
+// An executor may carry more than one lane (NewExecBatch): each slot then
+// holds lanes contiguous values, one per value-assignment, and a single
+// instruction-stream walk moves all lanes of every slot. Presence is a
+// function of the structure alone — every lane realizes the same support —
+// so stamps, live counts, StoreLimit and fault injection stay per-slot and
+// are checked once per instruction, not once per lane. That is the batching
+// win: the walk, the presence bookkeeping and the stats replay amortize
+// over lanes, leaving only the per-lane value arithmetic.
 type Exec struct {
 	N int
 	R ring.Semiring
@@ -36,8 +45,9 @@ type Exec struct {
 	injector Injector
 	netRound int
 
-	arena [][]ring.Value
-	stamp [][]uint32 // slot present iff stamp == epoch
+	lanes int            // values per slot (≥1); see NewExecBatch
+	arena [][]ring.Value // lane-strided: slot s lane l at s*lanes+l
+	stamp [][]uint32     // slot present iff stamp == epoch
 	epoch uint32
 	live  []int32 // per-node count of present slots (the map engine's len(store))
 
@@ -45,10 +55,21 @@ type Exec struct {
 	payload []ring.Value // gather scratch, reused across rounds
 }
 
-// NewExec returns an executor with the given per-node arena sizes over ring
-// r. Machine options (WithWorkers, WithStoreLimit, WithCollector,
-// WithTrace) apply with identical meaning.
+// NewExec returns a single-lane executor with the given per-node arena
+// sizes over ring r. Machine options (WithWorkers, WithStoreLimit,
+// WithCollector, WithTrace) apply with identical meaning.
 func NewExec(sizes []int32, r ring.Semiring, opts ...Option) *Exec {
+	return NewExecBatch(sizes, 1, r, opts...)
+}
+
+// NewExecBatch returns an executor whose every slot holds lanes values —
+// one per value-assignment of a batched run. One Run walks the instruction
+// stream once and moves all lanes; lane l of the arenas is loaded and read
+// through PutLane/GetLane. lanes < 1 is treated as 1.
+func NewExecBatch(sizes []int32, lanes int, r ring.Semiring, opts ...Option) *Exec {
+	if lanes < 1 {
+		lanes = 1
+	}
 	var probe Machine
 	probe.ParBatch = 4096
 	for _, o := range opts {
@@ -62,13 +83,14 @@ func NewExec(sizes []int32, r ring.Semiring, opts ...Option) *Exec {
 		StoreLimit: probe.StoreLimit,
 		collector:  probe.collector,
 		injector:   probe.injector,
+		lanes:      lanes,
 		arena:      make([][]ring.Value, len(sizes)),
 		stamp:      make([][]uint32, len(sizes)),
 		epoch:      1,
 		live:       make([]int32, len(sizes)),
 	}
 	for i, sz := range sizes {
-		x.arena[i] = make([]ring.Value, sz)
+		x.arena[i] = make([]ring.Value, int(sz)*lanes)
 		x.stamp[i] = make([]uint32, sz)
 	}
 	if f, ok := ring.AsField(r); ok {
@@ -78,6 +100,9 @@ func NewExec(sizes []int32, r ring.Semiring, opts ...Option) *Exec {
 	x.stats.RecvLoad = make([]int64, len(sizes))
 	return x
 }
+
+// Lanes returns the number of values each slot holds (1 for NewExec).
+func (x *Exec) Lanes() int { return x.lanes }
 
 // Configure re-applies Machine options to a (typically pooled) executor
 // before a run. Unspecified options revert to their New defaults, so a
@@ -183,36 +208,91 @@ func (x *Exec) markPresent(node int32, slot int32) {
 	}
 }
 
-// GetSlot reads the value at a slot, reporting presence.
-func (x *Exec) GetSlot(r SlotRef) (ring.Value, bool) {
+// GetSlot reads the lane-0 value at a slot, reporting presence. On a
+// multi-lane executor use GetLane for the other lanes.
+func (x *Exec) GetSlot(r SlotRef) (ring.Value, bool) { return x.GetLane(r, 0) }
+
+// GetLane reads the value of one lane of a slot, reporting presence (which
+// is per-slot: every lane realizes the same structure).
+func (x *Exec) GetLane(r SlotRef, lane int) (ring.Value, bool) {
 	if !x.present(int32(r.Node), r.Slot) {
 		var zero ring.Value
 		return zero, false
 	}
-	return x.arena[r.Node][r.Slot], true
+	return x.arena[r.Node][int(r.Slot)*x.lanes+lane], true
 }
 
-// MustGetSlot reads a value that must be present.
-func (x *Exec) MustGetSlot(r SlotRef) ring.Value {
+// MustGetSlot reads a lane-0 value that must be present.
+func (x *Exec) MustGetSlot(r SlotRef) ring.Value { return x.MustGetLane(r, 0) }
+
+// MustGetLane reads one lane of a slot that must be present.
+func (x *Exec) MustGetLane(r SlotRef, lane int) ring.Value {
 	if !x.present(int32(r.Node), r.Slot) {
 		panic(fmt.Sprintf("lbm: node %d missing slot %d", r.Node, r.Slot))
 	}
-	return x.arena[r.Node][r.Slot]
+	return x.arena[r.Node][int(r.Slot)*x.lanes+lane]
 }
 
-// PutSlot stores a value at a slot (free local computation).
-func (x *Exec) PutSlot(r SlotRef, v ring.Value) {
-	x.arena[r.Node][r.Slot] = v
+// PutSlot stores a lane-0 value at a slot (free local computation).
+func (x *Exec) PutSlot(r SlotRef, v ring.Value) { x.PutLane(r, 0, v) }
+
+// PutLane stores one lane of a slot. Loading a multi-lane executor must put
+// every lane of a slot: presence is per-slot, so a partially loaded slot
+// would expose stale values on its unwritten lanes.
+func (x *Exec) PutLane(r SlotRef, lane int, v ring.Value) {
+	x.arena[r.Node][int(r.Slot)*x.lanes+lane] = v
 	x.markPresent(int32(r.Node), r.Slot)
 }
 
-// AccSlot adds v into the slot's value (missing reads as the ring Zero).
+// PutLanes stores every lane of a slot at once (len(vs) = Lanes), with one
+// presence update — the bulk form of PutLane for batched loading.
+func (x *Exec) PutLanes(r SlotRef, vs []ring.Value) {
+	i := int(r.Slot) * x.lanes
+	copy(x.arena[r.Node][i:i+x.lanes], vs)
+	x.markPresent(int32(r.Node), r.Slot)
+}
+
+// AccSlot adds v into the slot's lane-0 value (missing reads as the ring
+// Zero). Multi-lane accumulation goes through AccLanes: presence is
+// per-slot, so accumulating lane by lane into an absent slot would mark it
+// present after the first lane and read stale values on the rest.
 func (x *Exec) AccSlot(r SlotRef, v ring.Value) {
 	cur := x.R.Zero()
+	i := int(r.Slot) * x.lanes
 	if x.present(int32(r.Node), r.Slot) {
-		cur = x.arena[r.Node][r.Slot]
+		cur = x.arena[r.Node][i]
 	}
-	x.arena[r.Node][r.Slot] = x.R.Add(cur, v)
+	x.arena[r.Node][i] = x.R.Add(cur, v)
+	x.markPresent(int32(r.Node), r.Slot)
+}
+
+// MustLanes returns the live lane slice of a slot that must be present
+// (len = Lanes). The slice aliases the arena; callers read it, they do not
+// keep or mutate it.
+func (x *Exec) MustLanes(r SlotRef) []ring.Value {
+	if !x.present(int32(r.Node), r.Slot) {
+		panic(fmt.Sprintf("lbm: node %d missing slot %d", r.Node, r.Slot))
+	}
+	i := int(r.Slot) * x.lanes
+	return x.arena[r.Node][i : i+x.lanes]
+}
+
+// AccLanes adds vs[l] into lane l of the slot for every lane, with the
+// slot's presence resolved once before any lane is touched (an absent slot
+// reads as the ring Zero on every lane).
+func (x *Exec) AccLanes(r SlotRef, vs []ring.Value) {
+	i := int(r.Slot) * x.lanes
+	dst := x.arena[r.Node][i : i+x.lanes]
+	if x.present(int32(r.Node), r.Slot) {
+		for l, v := range vs {
+			dst[l] = x.R.Add(dst[l], v)
+		}
+	} else {
+		zero := x.R.Zero()
+		for l, v := range vs {
+			dst[l] = x.R.Add(zero, v)
+		}
+	}
 	x.markPresent(int32(r.Node), r.Slot)
 }
 
@@ -288,7 +368,7 @@ func (x *Exec) runRound(cp *CompiledPlan, t int) error {
 			return err
 		}
 	}
-	size := hi - lo
+	size := (hi - lo) * x.lanes
 	if cap(x.payload) < size {
 		x.payload = make([]ring.Value, size)
 	}
@@ -325,20 +405,32 @@ func (x *Exec) runRound(cp *CompiledPlan, t int) error {
 			c.OnRound(int(real), int(locals))
 		}
 	} else {
-		// A round of only local copies costs nothing.
-		x.stats.LocalCopies += int64(size)
+		// A round of only local copies costs nothing. Stats count plan
+		// instructions, not lane values, so the lane factor stays out.
+		x.stats.LocalCopies += int64(hi - lo)
 	}
 	return nil
 }
 
 func (x *Exec) gather(cp *CompiledPlan, lo, hi int, payload []ring.Value) error {
+	K := x.lanes
 	read := func(a, b int) error {
+		if K == 1 {
+			for i := a; i < b; i++ {
+				from, slot := cp.From[i], cp.SrcSlot[i]
+				if x.stamp[from][slot] != x.epoch {
+					return x.missingErr(cp, i)
+				}
+				payload[i-lo] = x.arena[from][slot]
+			}
+			return nil
+		}
 		for i := a; i < b; i++ {
 			from, slot := cp.From[i], cp.SrcSlot[i]
 			if x.stamp[from][slot] != x.epoch {
 				return x.missingErr(cp, i)
 			}
-			payload[i-lo] = x.arena[from][slot]
+			copy(payload[(i-lo)*K:(i-lo+1)*K], x.arena[from][int(slot)*K:])
 		}
 		return nil
 	}
@@ -408,9 +500,13 @@ func (x *Exec) checkStoreLimit(cp *CompiledPlan, lo, hi int) error {
 	return nil
 }
 
-func (x *Exec) deliver(cp *CompiledPlan, lo, hi int, payload []ring.Value) {
-	apply := func(i int) {
-		to, dst := cp.To[i], cp.DstSlot[i]
+// applyInstr delivers instruction i's payload lanes into the destination
+// slot: one presence resolution, then every lane. The single-lane shape is
+// kept branch-lean — it is the PR-3 hot path the batched form amortizes.
+func (x *Exec) applyInstr(cp *CompiledPlan, i, lo int, payload []ring.Value) {
+	to, dst := cp.To[i], cp.DstSlot[i]
+	K := x.lanes
+	if K == 1 {
 		v := payload[i-lo]
 		switch cp.Ops[i] {
 		case OpAcc:
@@ -428,11 +524,43 @@ func (x *Exec) deliver(cp *CompiledPlan, lo, hi int, payload []ring.Value) {
 		default:
 			x.arena[to][dst] = v
 		}
-		x.markPresent(to, dst)
+		return
 	}
+	vs := payload[(i-lo)*K : (i-lo+1)*K]
+	ds := x.arena[to][int(dst)*K : (int(dst)+1)*K]
+	switch cp.Ops[i] {
+	case OpAcc:
+		if x.present(to, dst) {
+			for l, v := range vs {
+				ds[l] = x.R.Add(ds[l], v)
+			}
+		} else {
+			zero := x.R.Zero()
+			for l, v := range vs {
+				ds[l] = x.R.Add(zero, v)
+			}
+		}
+	case OpSub:
+		if x.present(to, dst) {
+			for l, v := range vs {
+				ds[l] = x.field.Sub(ds[l], v)
+			}
+		} else {
+			zero := x.R.Zero()
+			for l, v := range vs {
+				ds[l] = x.field.Sub(zero, v)
+			}
+		}
+	default:
+		copy(ds, vs)
+	}
+}
+
+func (x *Exec) deliver(cp *CompiledPlan, lo, hi int, payload []ring.Value) {
 	if x.Workers <= 1 || hi-lo < x.ParBatch {
 		for i := lo; i < hi; i++ {
-			apply(i)
+			x.applyInstr(cp, i, lo, payload)
+			x.markPresent(cp.To[i], cp.DstSlot[i])
 		}
 		return
 	}
@@ -454,23 +582,7 @@ func (x *Exec) deliver(cp *CompiledPlan, lo, hi int, payload []ring.Value) {
 					continue
 				}
 				dst := cp.DstSlot[i]
-				v := payload[i-lo]
-				switch cp.Ops[i] {
-				case OpAcc:
-					cur := x.R.Zero()
-					if x.present(to, dst) {
-						cur = x.arena[to][dst]
-					}
-					x.arena[to][dst] = x.R.Add(cur, v)
-				case OpSub:
-					cur := x.R.Zero()
-					if x.present(to, dst) {
-						cur = x.arena[to][dst]
-					}
-					x.arena[to][dst] = x.field.Sub(cur, v)
-				default:
-					x.arena[to][dst] = v
-				}
+				x.applyInstr(cp, i, lo, payload)
 				if x.stamp[to][dst] != x.epoch {
 					x.stamp[to][dst] = x.epoch
 					x.live[to]++

@@ -1,0 +1,51 @@
+package obsv
+
+import "fmt"
+
+// Histogram counts observations into fixed cumulative buckets, publishing
+// through a CounterSet so histogram data rides the same snapshot/scrape
+// path as every other service metric. For a histogram named "batch/size"
+// with bounds [1 2 4] the set carries:
+//
+//	batch/size/le_1, batch/size/le_2, batch/size/le_4  cumulative buckets
+//	batch/size/count                                   all observations
+//	batch/size/sum                                     sum of observed values
+//
+// (Prometheus-style: each le_B counts observations <= B; values above the
+// last bound appear only in count/sum.) Buckets are fixed at construction —
+// the CounterSet handles locking, so Observe is safe for concurrent use.
+type Histogram struct {
+	set    *CounterSet
+	bounds []int64
+	names  []string // precomputed "<name>/le_<bound>"
+	count  string
+	sum    string
+}
+
+// NewHistogram builds a histogram over the given cumulative bucket bounds,
+// which must be sorted ascending. The zero observation set publishes
+// nothing; counters appear on first Observe.
+func NewHistogram(set *CounterSet, name string, bounds []int64) *Histogram {
+	h := &Histogram{
+		set:    set,
+		bounds: bounds,
+		names:  make([]string, len(bounds)),
+		count:  name + "/count",
+		sum:    name + "/sum",
+	}
+	for i, b := range bounds {
+		h.names[i] = fmt.Sprintf("%s/le_%d", name, b)
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.set.Add(h.names[i], 1)
+		}
+	}
+	h.set.Add(h.count, 1)
+	h.set.Add(h.sum, v)
+}

@@ -1,0 +1,53 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramBuckets pins the cumulative-bucket contract: an observation
+// lands in every bucket whose bound it does not exceed, and over-range
+// values appear only in count/sum.
+func TestHistogramBuckets(t *testing.T) {
+	set := NewCounterSet()
+	h := NewHistogram(set, "batch/size", []int64{1, 4, 16})
+	for _, v := range []int64{1, 3, 4, 17} {
+		h.Observe(v)
+	}
+	want := map[string]int64{
+		"batch/size/le_1":  1,
+		"batch/size/le_4":  3,
+		"batch/size/le_16": 3,
+		"batch/size/count": 4,
+		"batch/size/sum":   25,
+	}
+	for name, v := range want {
+		if got := set.Get(name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+}
+
+// TestHistogramConcurrent drives Observe from many goroutines under the
+// race detector; totals must be exact.
+func TestHistogramConcurrent(t *testing.T) {
+	set := NewCounterSet()
+	h := NewHistogram(set, "h", []int64{8})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := set.Get("h/count"); got != 3200 {
+		t.Errorf("count = %d, want 3200", got)
+	}
+	if got := set.Get("h/le_8"); got != 3200 {
+		t.Errorf("le_8 = %d, want 3200", got)
+	}
+}

@@ -38,9 +38,10 @@ type wireMultiplyRequest struct {
 	Trace     bool        `json:"trace,omitempty"`
 }
 
-// wireMultiplyResponse is the body of a successful /v1/multiply.
-type wireMultiplyResponse struct {
-	X            []wireEntry  `json:"x"`
+// wireMultiplyReport is the how-it-was-served block shared by the scalar
+// and batched multiply responses (embedded, so its fields flatten into the
+// enclosing JSON object).
+type wireMultiplyReport struct {
 	Rounds       int          `json:"rounds"`
 	Phase1Rounds int          `json:"phase1_rounds"`
 	Phase2Rounds int          `json:"phase2_rounds"`
@@ -53,6 +54,59 @@ type wireMultiplyResponse struct {
 	Fingerprint  string       `json:"fingerprint"`
 	Cache        string       `json:"cache"` // "hit" or "miss"
 	Profile      *obsv.Export `json:"profile,omitempty"`
+}
+
+// wireMultiplyResponse is the body of a successful /v1/multiply.
+type wireMultiplyResponse struct {
+	X []wireEntry `json:"x"`
+	wireMultiplyReport
+}
+
+// wireBatchLane is one value set of POST /v1/multiply/batch.
+type wireBatchLane struct {
+	A []wireEntry `json:"a"`
+	B []wireEntry `json:"b"`
+}
+
+// wireMultiplyBatchRequest is the body of POST /v1/multiply/batch: k value
+// sets over one shared sparsity structure, multiplied as a single batched
+// run.
+type wireMultiplyBatchRequest struct {
+	N         int             `json:"n"`
+	Ring      string          `json:"ring,omitempty"`
+	Algorithm string          `json:"algorithm,omitempty"`
+	D         int             `json:"d,omitempty"`
+	Lanes     []wireBatchLane `json:"lanes"`
+	Xhat      []wirePos       `json:"xhat"`
+	Trace     bool            `json:"trace,omitempty"`
+}
+
+// wireMultiplyBatchResponse is the body of a successful batch multiply:
+// per-lane products plus the shared batch report (rounds, messages etc.
+// were paid once for the whole batch).
+type wireMultiplyBatchResponse struct {
+	Lanes      [][]wireEntry `json:"lanes"`
+	BatchLanes int           `json:"batch_lanes"`
+	wireMultiplyReport
+}
+
+// multiplyReportWire assembles the report/trace block of a multiply
+// response — the per-request setup the scalar and batched handlers share.
+func multiplyReportWire(rep *core.Report, fp string, hit bool, profile *obsv.Export) wireMultiplyReport {
+	return wireMultiplyReport{
+		Rounds:       rep.Rounds,
+		Phase1Rounds: rep.Phase1Rounds,
+		Phase2Rounds: rep.Phase2Rounds,
+		Messages:     rep.Stats.Messages,
+		PeakStore:    rep.Stats.PeakStore,
+		Algorithm:    rep.Name,
+		Classes:      classNames(rep.Classes),
+		Band:         rep.Band.String(),
+		D:            rep.D,
+		Fingerprint:  fp,
+		Cache:        cacheWord(hit),
+		Profile:      profile,
+	}
 }
 
 // wirePrepareRequest is the body of POST /v1/prepare.
@@ -97,15 +151,19 @@ type wireError struct {
 
 // NewHandler mounts the serving API onto a fresh mux:
 //
-//	POST /v1/multiply   multiply values through the plan cache
-//	POST /v1/prepare    warm the cache for a structure
-//	POST /v1/classify   Table 2 classification of a structure
-//	GET  /healthz       liveness
-//	GET  /metrics       JSON snapshot of every service counter
+//	POST /v1/multiply        multiply values through the plan cache
+//	POST /v1/multiply/batch  multiply k same-structure value sets as one batch
+//	POST /v1/prepare         warm the cache for a structure
+//	POST /v1/classify        Table 2 classification of a structure
+//	GET  /healthz            liveness
+//	GET  /metrics            JSON snapshot of every service counter
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/multiply", func(w http.ResponseWriter, r *http.Request) {
 		handleMultiply(s, w, r)
+	})
+	mux.HandleFunc("POST /v1/multiply/batch", func(w http.ResponseWriter, r *http.Request) {
+		handleMultiplyBatch(s, w, r)
 	})
 	mux.HandleFunc("POST /v1/prepare", func(w http.ResponseWriter, r *http.Request) {
 		handlePrepare(s, w, r)
@@ -158,19 +216,58 @@ func handleMultiply(s *Server, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := &wireMultiplyResponse{
-		X:            sparseEntries(resp.X),
-		Rounds:       resp.Report.Rounds,
-		Phase1Rounds: resp.Report.Phase1Rounds,
-		Phase2Rounds: resp.Report.Phase2Rounds,
-		Messages:     resp.Report.Stats.Messages,
-		PeakStore:    resp.Report.Stats.PeakStore,
-		Algorithm:    resp.Report.Name,
-		Classes:      classNames(resp.Report.Classes),
-		Band:         resp.Report.Band.String(),
-		D:            resp.Report.D,
-		Fingerprint:  resp.Fingerprint,
-		Cache:        cacheWord(resp.CacheHit),
-		Profile:      resp.Profile,
+		X:                  sparseEntries(resp.X),
+		wireMultiplyReport: multiplyReportWire(resp.Report, resp.Fingerprint, resp.CacheHit, resp.Profile),
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleMultiplyBatch(s *Server, w http.ResponseWriter, r *http.Request) {
+	var req wireMultiplyBatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ringSR, err := resolveRing(req.Ring)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	lanes := make([]BatchLane, len(req.Lanes))
+	for l, wl := range req.Lanes {
+		a, err := buildSparse(req.N, ringSR, wl.A, fmt.Sprintf("lanes[%d].a", l))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		b, err := buildSparse(req.N, ringSR, wl.B, fmt.Sprintf("lanes[%d].b", l))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		lanes[l] = BatchLane{A: a, B: b}
+	}
+	xhat, err := buildSupport(req.N, req.Xhat, "xhat")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.MultiplyBatch(r.Context(), &MultiplyBatchRequest{
+		Lanes: lanes, Xhat: xhat,
+		Options: core.Options{Ring: ringSR, D: req.D, Algorithm: req.Algorithm},
+		Trace:   req.Trace,
+	})
+	if err != nil {
+		writeServeErr(w, err)
+		return
+	}
+	out := &wireMultiplyBatchResponse{
+		Lanes:              make([][]wireEntry, len(resp.X)),
+		BatchLanes:         len(resp.X),
+		wireMultiplyReport: multiplyReportWire(resp.Report, resp.Fingerprint, resp.CacheHit, resp.Profile),
+	}
+	for l, x := range resp.X {
+		out.Lanes[l] = sparseEntries(x)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -209,3 +209,65 @@ func TestHTTPBadInput(t *testing.T) {
 		t.Errorf("GET /v1/multiply: status %d, want 405", rec.Code)
 	}
 }
+
+// TestHTTPMultiplyBatch drives POST /v1/multiply/batch over the wire: k
+// same-structure lanes come back as k correct products with one shared
+// batch report, and a mixed-structure batch is a 400.
+func TestHTTPMultiplyBatch(t *testing.T) {
+	srv := NewServer(Config{CacheSize: 8})
+	defer srv.Close()
+	h := NewHandler(srv)
+	r := ring.Counting{}
+	inst := workload.Blocks(16, 4)
+	xpos := supportPositions(inst.Xhat)
+
+	const k = 3
+	lanes := make([]wireBatchLane, k)
+	as := make([]*matrix.Sparse, k)
+	bs := make([]*matrix.Sparse, k)
+	for i := 0; i < k; i++ {
+		as[i] = matrix.Random(inst.Ahat, r, int64(40*i+1))
+		bs[i] = matrix.Random(inst.Bhat, r, int64(40*i+2))
+		lanes[i] = wireBatchLane{A: sparseEntries(as[i]), B: sparseEntries(bs[i])}
+	}
+	rec := postJSON(t, h, "/v1/multiply/batch", wireMultiplyBatchRequest{
+		N: inst.N, Ring: "counting", Lanes: lanes, Xhat: xpos, Trace: true,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch multiply: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp wireMultiplyBatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.BatchLanes != k || len(resp.Lanes) != k {
+		t.Fatalf("batch_lanes=%d len(lanes)=%d, want %d", resp.BatchLanes, len(resp.Lanes), k)
+	}
+	if resp.Profile == nil {
+		t.Error("trace requested but no profile in response")
+	}
+	for i := 0; i < k; i++ {
+		got, err := buildSparse(inst.N, r, resp.Lanes[i], "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := matrix.MulReference(as[i], bs[i], inst.Xhat); !matrix.Equal(got, want) {
+			t.Errorf("lane %d: wrong product", i)
+		}
+	}
+
+	// A lane with a different structure must be rejected as the caller's
+	// error, not served or crashed on.
+	other := workload.Blocks(32, 4)
+	bad := append([]wireBatchLane{}, lanes...)
+	bad[1] = wireBatchLane{
+		A: sparseEntries(matrix.Random(other.Ahat, r, 1)),
+		B: sparseEntries(matrix.Random(other.Bhat, r, 2)),
+	}
+	rec = postJSON(t, h, "/v1/multiply/batch", wireMultiplyBatchRequest{
+		N: inst.N, Ring: "counting", Lanes: bad, Xhat: xpos,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("mixed-structure batch: status %d, want 400: %s", rec.Code, rec.Body)
+	}
+}

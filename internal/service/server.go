@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lbmm/internal/algo"
+	"lbmm/internal/batch"
 	"lbmm/internal/core"
 	"lbmm/internal/lbm"
 	"lbmm/internal/matrix"
@@ -53,8 +54,34 @@ type Config struct {
 	// attempt counts from zero across one request. A nil return runs that
 	// attempt on a perfect network.
 	FaultInjector func(engine string, attempt int) lbm.Injector
+	// BatchSize enables dynamic batching when > 1: /v1/multiply requests
+	// sharing one plan fingerprint coalesce into lanes of a single batched
+	// run, at most BatchSize lanes per run (default 0: batching off).
+	BatchSize int
+	// BatchDelay bounds how long a request waits for lane-mates before its
+	// batch launches anyway (default 2ms when batching is on). Negative
+	// values are rejected by Validate — silently clamping would turn an
+	// operator typo into batching being quietly disabled.
+	BatchDelay time.Duration
 	// Metrics receives the service counters; a fresh set when nil.
 	Metrics *obsv.CounterSet
+}
+
+// Validate rejects configurations that are contradictions rather than
+// omissions (omitted knobs get defaults; nonsense knobs get errors).
+// NewServer panics on an invalid config — call Validate first when the
+// values come from flags or the environment.
+func (c Config) Validate() error {
+	if c.BatchDelay < 0 {
+		return fmt.Errorf("service: batch delay must be >= 0, got %s", c.BatchDelay)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("service: batch size must be >= 0, got %d", c.BatchSize)
+	}
+	if c.CacheBytes < 0 {
+		return fmt.Errorf("service: cache byte bound must be >= 0 (0 disables it), got %d", c.CacheBytes)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +102,9 @@ func (c Config) withDefaults() Config {
 	} else if c.FaultBudget < 0 {
 		c.FaultBudget = 0
 	}
+	if c.BatchSize > 1 && c.BatchDelay == 0 {
+		c.BatchDelay = 2 * time.Millisecond
+	}
 	if c.Metrics == nil {
 		c.Metrics = obsv.NewCounterSet()
 	}
@@ -94,6 +124,14 @@ const (
 	MetricFallbacks        = "serve/fallbacks"
 	MetricQueueDepth       = "serve/queue_depth" // gauge
 	MetricActiveWorkers    = "serve/active"      // gauge
+
+	// Batching metrics (docs/SERVICE.md "Batching"). MetricBatchSize is a
+	// histogram prefix: the counter set carries batch/size/le_N cumulative
+	// buckets plus batch/size/count and batch/size/sum.
+	MetricBatchSize   = "batch/size"
+	MetricBatchLanes  = "batch/lanes"   // gauge: lanes executing right now
+	MetricBatchWaitNs = "batch/wait_ns" // total ns lanes spent waiting to launch
+	MetricBatchLaunch = "batch/launch_" // + reason: full|timeout|immediate|flush
 )
 
 // Server serves multiplications from a prepared-plan cache behind a bounded
@@ -105,16 +143,44 @@ type Server struct {
 	workers chan struct{}
 	queued  atomic.Int64
 	active  atomic.Int64
+
+	// Dynamic batching (nil coalescer when BatchSize <= 1): requests park
+	// in the coalescer keyed by plan fingerprint; runBatch executes each
+	// launched group on one worker slot and fans results back per lane.
+	coal      *batch.Coalescer[*batchLane]
+	batchHist *obsv.Histogram
+	laneCount atomic.Int64
 }
 
-// NewServer builds a server from the config.
+// NewServer builds a server from the config. It panics if the config fails
+// Validate — call Validate first for flag- or environment-sourced values.
 func NewServer(cfg Config) *Server {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cache:   NewCacheBytes(cfg.CacheSize, cfg.CacheBytes, cfg.Metrics),
 		metrics: cfg.Metrics,
 		workers: make(chan struct{}, cfg.Workers),
+	}
+	s.batchHist = obsv.NewHistogram(cfg.Metrics, MetricBatchSize, []int64{1, 2, 4, 8, 16, 32, 64})
+	if cfg.BatchSize > 1 {
+		s.coal = batch.New[*batchLane](batch.Config{
+			MaxBatch: cfg.BatchSize,
+			MaxDelay: cfg.BatchDelay,
+		}, s.runBatch)
+	}
+	return s
+}
+
+// Close drains the batching subsystem: pending groups launch immediately,
+// in-flight batches finish, and later batched requests are shed. A server
+// without batching has nothing to drain.
+func (s *Server) Close() {
+	if s.coal != nil {
+		s.coal.Close()
 	}
 }
 
@@ -235,13 +301,14 @@ type MultiplyResponse struct {
 	Profile *obsv.Export
 }
 
-// execute runs a prepared plan under the server's fault policy: up to
-// FaultBudget retries on the compiled engine when an attempt fails with a
-// typed network fault (counted as serve/retries), then one graceful
-// degradation onto the map engine (counted as serve/fallbacks). Non-fault
-// errors return immediately; a fault surviving even the fallback surfaces
-// to the caller with its provenance intact.
-func (s *Server) execute(prep *core.Prepared, a, b *matrix.Sparse, trace bool) (*matrix.Sparse, *core.Report, error) {
+// runFaultPolicy drives one request (scalar or batched) through the
+// server's fault policy: up to FaultBudget retries on the compiled engine
+// when an attempt fails with a typed network fault (counted as
+// serve/retries), then one graceful degradation onto the map engine
+// (counted as serve/fallbacks). Non-fault errors return immediately; a
+// fault surviving even the fallback surfaces to the caller with its
+// provenance intact. run performs one attempt with the given options.
+func (s *Server) runFaultPolicy(trace bool, run func(core.ExecOpts) error) error {
 	attempt := 0
 	inject := func(engine string) lbm.Injector {
 		if s.cfg.FaultInjector == nil {
@@ -253,18 +320,16 @@ func (s *Server) execute(prep *core.Prepared, a, b *matrix.Sparse, trace bool) (
 	}
 	var err error
 	for try := 0; try <= s.cfg.FaultBudget; try++ {
-		var x *matrix.Sparse
-		var rep *core.Report
-		x, rep, err = prep.MultiplyOpts(a, b, core.ExecOpts{
+		err = run(core.ExecOpts{
 			Trace:    trace,
 			Engine:   string(algo.EngineCompiled),
 			Injector: inject(string(algo.EngineCompiled)),
 		})
 		if err == nil {
-			return x, rep, nil
+			return nil
 		}
 		if !lbm.IsFault(err) {
-			return nil, nil, err
+			return err
 		}
 		s.metrics.Add(MetricFaults, 1)
 		if try < s.cfg.FaultBudget {
@@ -272,18 +337,49 @@ func (s *Server) execute(prep *core.Prepared, a, b *matrix.Sparse, trace bool) (
 		}
 	}
 	s.metrics.Add(MetricFallbacks, 1)
-	x, rep, err := prep.MultiplyOpts(a, b, core.ExecOpts{
+	err = run(core.ExecOpts{
 		Trace:    trace,
 		Engine:   string(algo.EngineMap),
 		Injector: inject(string(algo.EngineMap)),
 	})
+	if err != nil && lbm.IsFault(err) {
+		s.metrics.Add(MetricFaults, 1)
+	}
+	return err
+}
+
+// execute runs a prepared plan on one value set under the fault policy.
+func (s *Server) execute(prep *core.Prepared, a, b *matrix.Sparse, trace bool) (*matrix.Sparse, *core.Report, error) {
+	var x *matrix.Sparse
+	var rep *core.Report
+	err := s.runFaultPolicy(trace, func(opts core.ExecOpts) error {
+		var attemptErr error
+		x, rep, attemptErr = prep.MultiplyOpts(a, b, opts)
+		return attemptErr
+	})
 	if err != nil {
-		if lbm.IsFault(err) {
-			s.metrics.Add(MetricFaults, 1)
-		}
 		return nil, nil, err
 	}
 	return x, rep, nil
+}
+
+// executeBatch runs a prepared plan on k value sets as one batched run
+// under the same fault policy. A fault fails (and retries, and finally
+// degrades) the whole batch: lanes share every round, so there is no
+// per-lane partial success — the caller fans the one outcome out to every
+// lane.
+func (s *Server) executeBatch(prep *core.Prepared, as, bs []*matrix.Sparse, trace bool) ([]*matrix.Sparse, *core.Report, error) {
+	var outs []*matrix.Sparse
+	var rep *core.Report
+	err := s.runFaultPolicy(trace, func(opts core.ExecOpts) error {
+		var attemptErr error
+		outs, rep, attemptErr = prep.MultiplyBatch(as, bs, opts)
+		return attemptErr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs, rep, nil
 }
 
 // Multiply serves one multiplication: admission control, plan-cache lookup
@@ -301,12 +397,16 @@ func (s *Server) Multiply(ctx context.Context, req *MultiplyRequest) (*MultiplyR
 	if err != nil {
 		return nil, err
 	}
-	defer release()
 	prep, fp, hit, err := s.prepared(req.A.Support(), req.B.Support(), req.Xhat, req.Options)
 	if err != nil {
+		release()
 		s.metrics.Add(MetricErrors, 1)
 		return nil, err
 	}
+	if s.coal != nil {
+		return s.multiplyCoalesced(ctx, req, prep, fp, hit, release)
+	}
+	defer release()
 	x, rep, err := s.execute(prep, req.A, req.B, req.Trace)
 	if err != nil {
 		s.metrics.Add(MetricErrors, 1)
