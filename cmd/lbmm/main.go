@@ -18,10 +18,14 @@
 //	                        one multiplication with a full report + timeline
 //	lbmm gen  [-n N] [-d D] -o PREFIX   write a generated instance to files
 //	lbmm solve -a A.mtx -b B.mtx -x XHAT.mtx [-o OUT.mtx]   solve from files
-//	lbmm serve [-addr :8080] [-cache N] [-cache-mb MB] [-workers N] [-queue N] [-deadline D] [-batch K] [-batch-delay D]
+//	lbmm serve [-addr :8080] [-cache N] [-cache-mb MB] [-workers N] [-queue N] [-deadline D] [-batch K] [-batch-delay D] [-store-dir DIR] [-store-mb MB]
 //	                        HTTP/JSON multiply server with a prepared-plan
 //	                        cache, admission control and dynamic batching
-//	                        (docs/SERVICE.md)
+//	                        (docs/SERVICE.md); -store-dir adds a persistent
+//	                        plan-store tier for warm restarts (docs/PLANSTORE.md)
+//	lbmm plans <list|inspect|prewarm|gc|verify> -store-dir DIR [flags]
+//	                        inspect and maintain a plan store directory
+//	                        (docs/PLANSTORE.md)
 //	lbmm benchpr3 [-n N] [-d D] [-iters K] [-o BENCH_PR3.json]
 //	                        prepare-once/multiply-many benchmark of the map
 //	                        vs compiled execution engines
@@ -57,6 +61,15 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "plans" {
+		// plans has sub-subcommands with their own flag sets; dispatch
+		// before the generic flag parse below.
+		if err := runPlans(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "lbmm:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	full := fs.Bool("full", false, "run the larger (slower) sweep sizes")
 	n := fs.Int("n", 64, "demo/gen: matrix dimension / computer count")
@@ -78,6 +91,8 @@ func main() {
 	deadline := fs.Duration("deadline", 0, "serve: default per-request deadline (0 = 30s)")
 	batchSize := fs.Int("batch", 0, "serve: max lanes coalesced per batch (0 or 1 = batching off)")
 	batchDelay := fs.Duration("batch-delay", 0, "serve: max time a request waits for lane-mates (0 = 2ms when batching)")
+	storeDir := fs.String("store-dir", "", "serve: persistent plan store directory (empty = no disk tier)")
+	storeMB := fs.Int("store-mb", 0, "serve: plan store size budget in MiB (0 = unbounded)")
 	engine := fs.String("engine", "", "demo: execution engine (compiled|map; default compiled)")
 	iters := fs.Int("iters", 50, "benchpr3: multiplications per engine")
 	cases := fs.Int("cases", 200, "chaos: randomized differential cases")
@@ -124,7 +139,7 @@ func main() {
 	case "solve":
 		err = runSolve(*aPath, *bPath, *xPath, *outPath, *ringName)
 	case "serve":
-		err = runServe(*addr, *cacheSize, *cacheMB, *workers, *queue, *deadline, *batchSize, *batchDelay)
+		err = runServe(*addr, *cacheSize, *cacheMB, *workers, *queue, *deadline, *batchSize, *batchDelay, *storeDir, *storeMB)
 	case "benchpr3":
 		err = runBenchPR3(*n, *d, *iters, *outPath)
 	case "benchpr5":
@@ -158,7 +173,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|benchpr3|benchpr5|chaos|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|plans|benchpr3|benchpr5|chaos|all> [flags]`)
 }
 
 func runTable1(scale exper.Scale, profile bool) error {
@@ -227,21 +242,28 @@ func runSupport(scale exper.Scale) error {
 	return nil
 }
 
-func runTrace(n, d int, algName, wlName, format, outPath string) error {
-	var inst *graph.Instance
+// workloadInstance builds the named generator's instance — the shared
+// workload vocabulary of `lbmm trace` and `lbmm plans prewarm`.
+func workloadInstance(wlName string, n, d int) (*graph.Instance, error) {
 	switch wlName {
 	case "blocks":
-		inst = workload.Blocks(n, d)
+		return workload.Blocks(n, d), nil
 	case "mixed":
-		inst = workload.Mixed(n, d, 42)
+		return workload.Mixed(n, d, 42), nil
 	case "us":
-		inst = workload.Instance(matrix.US, matrix.US, matrix.US, n, d, 42)
+		return workload.Instance(matrix.US, matrix.US, matrix.US, n, d, 42), nil
 	case "hotpair":
-		inst = workload.HotPair(n)
+		return workload.HotPair(n), nil
 	case "powerlaw":
-		inst = workload.PowerLaw(n, d, 42)
-	default:
-		return fmt.Errorf("unknown workload %q", wlName)
+		return workload.PowerLaw(n, d, 42), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", wlName)
+}
+
+func runTrace(n, d int, algName, wlName, format, outPath string) error {
+	inst, err := workloadInstance(wlName, n, d)
+	if err != nil {
+		return err
 	}
 	r := ring.Counting{}
 	a := matrix.Random(inst.Ahat, r, 1)

@@ -5,13 +5,17 @@ import (
 	"net/http"
 	"time"
 
+	"lbmm/internal/obsv"
+	"lbmm/internal/planstore"
 	"lbmm/internal/service"
 )
 
 // runServe starts the HTTP serving layer: a prepared-plan cache with
 // admission control and (optionally) dynamic batching in front, speaking
-// the JSON API of docs/SERVICE.md.
-func runServe(addr string, cacheSize, cacheMB, workers, queueDepth int, deadline time.Duration, batchSize int, batchDelay time.Duration) error {
+// the JSON API of docs/SERVICE.md. When storeDir is non-empty the cache
+// gains a persistent second tier (docs/PLANSTORE.md): plans compiled by
+// this process are written back to disk and survive a restart.
+func runServe(addr string, cacheSize, cacheMB, workers, queueDepth int, deadline time.Duration, batchSize int, batchDelay time.Duration, storeDir string, storeMB int) error {
 	cfg := service.Config{
 		CacheSize:  cacheSize,
 		CacheBytes: int64(cacheMB) << 20,
@@ -20,6 +24,17 @@ func runServe(addr string, cacheSize, cacheMB, workers, queueDepth int, deadline
 		Deadline:   deadline,
 		BatchSize:  batchSize,
 		BatchDelay: batchDelay,
+	}
+	if storeDir != "" {
+		// One shared counter set so GET /metrics reports the store/*
+		// counters beside the serve/* ones.
+		ms := obsv.NewCounterSet()
+		st, err := planstore.Open(storeDir, int64(storeMB)<<20, ms)
+		if err != nil {
+			return fmt.Errorf("open plan store: %w", err)
+		}
+		cfg.Metrics = ms
+		cfg.Store = st
 	}
 	// Validate up front so a bad flag is a friendly CLI error, not a panic
 	// out of NewServer.
@@ -32,6 +47,13 @@ func runServe(addr string, cacheSize, cacheMB, workers, queueDepth int, deadline
 		addr, eff.CacheSize, eff.CacheBytes>>20, eff.Workers, eff.QueueDepth, eff.Deadline)
 	if eff.BatchSize > 1 {
 		fmt.Printf("  batching: up to %d lanes per plan, max delay %s\n", eff.BatchSize, eff.BatchDelay)
+	}
+	if eff.Store != nil {
+		budget := "unbounded"
+		if storeMB > 0 {
+			budget = fmt.Sprintf("%d MiB", storeMB)
+		}
+		fmt.Printf("  plan store: %s (budget %s)\n", eff.Store.Dir(), budget)
 	}
 	fmt.Printf("  POST /v1/multiply  POST /v1/multiply/batch  POST /v1/prepare  POST /v1/classify  GET /healthz  GET /metrics\n")
 	return http.ListenAndServe(addr, service.NewHandler(srv))

@@ -117,20 +117,26 @@ func compilePrepared(p *Prepared) (*compiledPrepared, error) {
 	}
 	cp.few = few
 	cp.sizes = sp.Sizes()
+	cp.finish(p.R)
+	return cp, nil
+}
+
+// finish completes a compiled form whose instruction state is in place —
+// whether freshly lowered or decoded from a serialized snapshot: it prices
+// the resident size and arms the executor pool for the given ring.
+func (cp *compiledPrepared) finish(r ring.Semiring) {
 	cp.bytes = int64(len(cp.loadA)+len(cp.loadB)+len(cp.x)) * 16
 	cp.bytes += int64(len(cp.stagingClear)) * 8
 	for _, cb := range cp.phase1 {
 		cp.bytes += cb.MemoryBytes()
 	}
-	cp.bytes += few.MemoryBytes()
+	cp.bytes += cp.few.MemoryBytes()
 	for _, sz := range cp.sizes {
 		cp.bytes += int64(sz) * 12 // arena value + epoch stamp
 	}
-	r := p.R
 	sizes := cp.sizes
 	cp.r = r
 	cp.pool.New = func() any { return lbm.NewExec(sizes, r) }
-	return cp, nil
 }
 
 // CompiledBytes reports the estimated resident size of the compiled form

@@ -169,6 +169,11 @@ func (p *Prepared) MultiplyOn(e Engine, a, b *matrix.Sparse, mopts ...lbm.Option
 	if e == EngineCompiled && p.compiled != nil {
 		return p.multiplyCompiled(a, b, mopts...)
 	}
+	if p.fewtri == nil {
+		// Restored from a snapshot: the compiled form exists but the
+		// map-engine planning state was never serialized.
+		return nil, nil, ErrNoMapForm
+	}
 	m := lbm.New(p.Inst.N, p.R, mopts...)
 	// Load every support position explicitly (absent value = ring Zero, per
 	// Sparse.Get), so the fixed plans find all their sources.

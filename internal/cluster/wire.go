@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"lbmm/internal/dense"
+)
+
+// wireBatch is the exported gob form of CompiledBatch. The dense programs
+// carry their own GobEncode/GobDecode, so the batch only records which of
+// the two routines the clustering used.
+type wireBatch struct {
+	Strassen *dense.CompiledStrassenProgram
+	Cube     *dense.CompiledCubeProgram
+}
+
+// GobEncode implements gob.GobEncoder so compiled phase-1 batches can be
+// written into the persistent plan store and restored without re-running
+// the Lemma 4.13 clustering or the dense planning.
+func (cb *CompiledBatch) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wireBatch{Strassen: cb.strassen, Cube: cb.cube}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (cb *CompiledBatch) GobDecode(data []byte) error {
+	var w wireBatch
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if w.Strassen == nil && w.Cube == nil {
+		return fmt.Errorf("cluster: decode batch: empty batch (no cube or strassen program)")
+	}
+	cb.strassen, cb.cube = w.Strassen, w.Cube
+	return nil
+}
+
+// ValidateRefs checks every slot reference the batch touches against the
+// per-node arena sizes it will execute in.
+func (cb *CompiledBatch) ValidateRefs(sizes []int32) error {
+	if err := cb.strassen.ValidateRefs(sizes); err != nil {
+		return err
+	}
+	return cb.cube.ValidateRefs(sizes)
+}

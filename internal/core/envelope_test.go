@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// envInstance builds a small instance and its prepared multiplication.
+func envPrepared(t *testing.T, opts Options) (*Prepared, *matrix.Support, *matrix.Support, *matrix.Support) {
+	t.Helper()
+	inst := workload.Blocks(20, 4)
+	p, err := Prepare(inst.Ahat, inst.Bhat, inst.Xhat, opts)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	return p, inst.Ahat, inst.Bhat, inst.Xhat
+}
+
+// TestEnvelopeRoundTrip checks Encode → DecodePrepared preserves the
+// product, the classification metadata and the content address.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	opts := Options{Ring: ring.NewGFp(257), Algorithm: "theorem42"}
+	p, ahat, bhat, xhat := envPrepared(t, opts)
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	q, err := DecodePrepared(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if q.Classes != p.Classes || q.Band != p.Band || q.D != p.D || q.Algorithm != p.Algorithm {
+		t.Fatalf("metadata changed over round trip: %+v vs %+v", q, p)
+	}
+
+	wantFP, err := Fingerprint(ahat, bhat, xhat, opts)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	for _, pp := range []*Prepared{p, q} {
+		got, err := pp.Fingerprint()
+		if err != nil {
+			t.Fatalf("prepared fingerprint: %v", err)
+		}
+		if got != wantFP {
+			t.Fatalf("fingerprint %s, want %s", got, wantFP)
+		}
+	}
+
+	a := matrix.Random(ahat, opts.Ring, 1)
+	b := matrix.Random(bhat, opts.Ring, 2)
+	want, _, err := p.Multiply(a, b)
+	if err != nil {
+		t.Fatalf("original multiply: %v", err)
+	}
+	got, rep, err := q.Multiply(a, b)
+	if err != nil {
+		t.Fatalf("restored multiply: %v", err)
+	}
+	if !matrix.Equal(got, want) {
+		t.Fatalf("restored product differs")
+	}
+	if rep.Band != p.Band {
+		t.Fatalf("report band %v, want %v", rep.Band, p.Band)
+	}
+}
+
+// TestEnvelopeRejectsFutureVersion writes an envelope stamped with the next
+// format version and checks the reader rejects it with the typed version
+// error — cleanly, not as corruption (satellite: cross-version behavior).
+func TestEnvelopeRejectsFutureVersion(t *testing.T) {
+	p, _, _, _ := envPrepared(t, Options{Ring: ring.Counting{}})
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Re-frame the same payload under version N+1, as a future build would.
+	var env preparedEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&env); err != nil {
+		t.Fatalf("reframe decode: %v", err)
+	}
+	env.Version = PreparedFormatVersion + 1
+	var future bytes.Buffer
+	if err := gob.NewEncoder(&future).Encode(&env); err != nil {
+		t.Fatalf("reframe encode: %v", err)
+	}
+	_, err := DecodePrepared(bytes.NewReader(future.Bytes()))
+	if !errors.Is(err, ErrEnvelopeVersion) {
+		t.Fatalf("future envelope version: err=%v, want ErrEnvelopeVersion", err)
+	}
+	if errors.Is(err, ErrEnvelope) {
+		t.Fatalf("version mismatch misreported as corruption: %v", err)
+	}
+
+	// Same for a future inner compiled-plan version.
+	env.Version = PreparedFormatVersion
+	env.PlanVersion++
+	future.Reset()
+	if err := gob.NewEncoder(&future).Encode(&env); err != nil {
+		t.Fatalf("reframe encode: %v", err)
+	}
+	if _, err := DecodePrepared(bytes.NewReader(future.Bytes())); !errors.Is(err, ErrEnvelopeVersion) {
+		t.Fatalf("future plan version: err=%v, want ErrEnvelopeVersion", err)
+	}
+}
+
+// TestEnvelopeRejectsCorruption checks damaged envelopes surface ErrEnvelope.
+func TestEnvelopeRejectsCorruption(t *testing.T) {
+	p, _, _, _ := envPrepared(t, Options{Ring: ring.Counting{}})
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	raw := buf.Bytes()
+
+	// Wrong magic.
+	var env preparedEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+		t.Fatalf("reframe: %v", err)
+	}
+	env.Magic = "lbmm.postcard"
+	var bad bytes.Buffer
+	if err := gob.NewEncoder(&bad).Encode(&env); err != nil {
+		t.Fatalf("reframe encode: %v", err)
+	}
+	if _, err := DecodePrepared(bytes.NewReader(bad.Bytes())); !errors.Is(err, ErrEnvelope) {
+		t.Fatalf("bad magic: err=%v, want ErrEnvelope", err)
+	}
+
+	// Truncations.
+	for _, n := range []int{0, 1, len(raw) / 3, len(raw) - 1} {
+		if _, err := DecodePrepared(bytes.NewReader(raw[:n])); !errors.Is(err, ErrEnvelope) {
+			t.Fatalf("truncation to %d: err=%v, want ErrEnvelope", n, err)
+		}
+	}
+
+	// Metadata that disagrees with the decoded structure.
+	env.Magic = preparedMagic
+	env.D++
+	bad.Reset()
+	if err := gob.NewEncoder(&bad).Encode(&env); err != nil {
+		t.Fatalf("reframe encode: %v", err)
+	}
+	if _, err := DecodePrepared(bytes.NewReader(bad.Bytes())); !errors.Is(err, ErrEnvelope) {
+		t.Fatalf("d mismatch: err=%v, want ErrEnvelope", err)
+	}
+}

@@ -23,6 +23,11 @@ type Prepared struct {
 	Band    Band
 	// D is the sparsity parameter used.
 	D int
+	// Algorithm is the algorithm as requested at Prepare time ("auto",
+	// "theorem42" or "lemma31"; "" normalizes to "auto"). It is part of the
+	// content address: Fingerprint keys on the request, not on what "auto"
+	// resolved to, so the same field must survive a store round trip.
+	Algorithm string
 }
 
 // Prepare preprocesses the multiplication for the given supports. Options:
@@ -39,7 +44,11 @@ func Prepare(ahat, bhat, xhat *matrix.Support, opts Options) (*Prepared, error) 
 	}
 	d := ResolveD(opts.D, ahat, bhat, xhat)
 	inst := graph.NewInstance(d, ahat, bhat, xhat)
-	p := &Prepared{D: d}
+	alg := opts.Algorithm
+	if alg == "" {
+		alg = "auto"
+	}
+	p := &Prepared{D: d, Algorithm: alg}
 	p.Classes[0], p.Classes[1], p.Classes[2] = inst.Classify()
 	p.Band = Classify(p.Classes[0], p.Classes[1], p.Classes[2])
 

@@ -1,0 +1,124 @@
+package fewtri
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"lbmm/internal/lbm"
+)
+
+// wireProd is the exported form of compiledProd.
+type wireProd struct {
+	A, B, Dst lbm.SlotRef
+}
+
+// wireJob is the exported gob form of CompiledJob.
+type wireJob struct {
+	Kappa        int
+	VirtualNodes int
+	Plans        []*lbm.CompiledPlan
+	Prods        [][]wireProd
+	Cleanup      []lbm.SlotRef
+}
+
+// GobEncode implements gob.GobEncoder so a compiled Lemma 3.1 job can be
+// written into the persistent plan store and restored without re-running
+// the virtual-computer assignment or the routing pipelines.
+func (cj *CompiledJob) GobEncode() ([]byte, error) {
+	w := wireJob{
+		Kappa:        cj.kappa,
+		VirtualNodes: cj.virtualNodes,
+		Plans:        cj.plans,
+		Prods:        make([][]wireProd, len(cj.prods)),
+		Cleanup:      cj.cleanup,
+	}
+	for g, prods := range cj.prods {
+		w.Prods[g] = make([]wireProd, len(prods))
+		for i, p := range prods {
+			w.Prods[g][i] = wireProd{A: p.a, B: p.b, Dst: p.dst}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder, re-validating every embedded
+// compiled plan: serialized jobs cross the same trust boundary as
+// serialized Plans and are never handed to an executor unchecked.
+func (cj *CompiledJob) GobDecode(data []byte) error {
+	var w wireJob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if n := len(w.Plans); n != 0 && n != 9 {
+		return fmt.Errorf("fewtri: decode job: %d communication plans (want 0 or 9)", n)
+	}
+	for i, cp := range w.Plans {
+		if cp == nil {
+			return fmt.Errorf("fewtri: decode job: plan %d missing", i)
+		}
+		if err := cp.Validate(); err != nil {
+			return fmt.Errorf("fewtri: decode job plan %d: %w", i, err)
+		}
+	}
+	cj.kappa = w.Kappa
+	cj.virtualNodes = w.VirtualNodes
+	cj.plans = w.Plans
+	cj.prods = make([][]compiledProd, len(w.Prods))
+	for g, prods := range w.Prods {
+		cj.prods[g] = make([]compiledProd, len(prods))
+		for i, p := range prods {
+			cj.prods[g][i] = compiledProd{a: p.A, b: p.B, dst: p.Dst}
+		}
+	}
+	cj.cleanup = w.Cleanup
+	return nil
+}
+
+// ValidateRefs checks every slot reference the job touches against the
+// per-node arena sizes it will execute in. The plans' instructions are
+// bounded by their own NumSlots snapshots; the triangle products and
+// cleanup refs are only checked here, where the arena geometry is known.
+func (cj *CompiledJob) ValidateRefs(sizes []int32) error {
+	if cj == nil {
+		return nil
+	}
+	for i, cp := range cj.plans {
+		if cp.N != len(sizes) {
+			return fmt.Errorf("fewtri: plan %d compiled for %d nodes, arenas have %d", i, cp.N, len(sizes))
+		}
+		for v, sz := range cp.NumSlots {
+			if sz > sizes[v] {
+				return fmt.Errorf("fewtri: plan %d needs %d slots at node %d, arenas have %d", i, sz, v, sizes[v])
+			}
+		}
+	}
+	check := func(r lbm.SlotRef, what string) error {
+		if r.Node < 0 || int(r.Node) >= len(sizes) {
+			return fmt.Errorf("fewtri: %s node %d out of range (n=%d)", what, r.Node, len(sizes))
+		}
+		if r.Slot < 0 || r.Slot >= sizes[r.Node] {
+			return fmt.Errorf("fewtri: %s slot %d out of range at node %d (%d slots)", what, r.Slot, r.Node, sizes[r.Node])
+		}
+		return nil
+	}
+	for _, prods := range cj.prods {
+		for _, p := range prods {
+			for _, r := range [...]lbm.SlotRef{p.a, p.b, p.dst} {
+				if err := check(r, "product"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, r := range cj.cleanup {
+		if err := check(r, "cleanup"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -60,6 +60,42 @@ func sortInt32(xs []int32) {
 	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
 }
 
+// SupportFromRows rebuilds a support from its row lists — the inverse of
+// reading s.Rows, used when supports are decoded from serialized plans.
+// Unlike NewSupport it validates instead of panicking, because decoded rows
+// cross a trust boundary: every index must lie in [0, n) and every row must
+// be strictly ascending (the sortedness invariant the rest of the package
+// relies on).
+func SupportFromRows(n int, rows [][]int32) (*Support, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("matrix: support dimension %d", n)
+	}
+	if len(rows) != n {
+		return nil, fmt.Errorf("matrix: %d row lists for dimension %d", len(rows), n)
+	}
+	s := &Support{N: n, Rows: make([][]int32, n), Cols: make([][]int32, n)}
+	for i, row := range rows {
+		prev := int32(-1)
+		for _, j := range row {
+			if j < 0 || int(j) >= n {
+				return nil, fmt.Errorf("matrix: support entry (%d,%d) out of range for n=%d", i, j, n)
+			}
+			if j <= prev {
+				return nil, fmt.Errorf("matrix: support row %d not strictly ascending at column %d", i, j)
+			}
+			prev = j
+		}
+		s.Rows[i] = append([]int32(nil), row...)
+		s.NNZ += len(row)
+		for _, j := range row {
+			s.Cols[j] = append(s.Cols[j], int32(i))
+		}
+	}
+	// Column lists inherit sortedness from the row-major fill (rows are
+	// visited in ascending i), so no per-column sort is needed.
+	return s, nil
+}
+
 // Has reports whether position (i, j) is in the support.
 func (s *Support) Has(i, j int) bool {
 	row := s.Rows[i]

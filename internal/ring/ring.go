@@ -13,6 +13,7 @@
 package ring
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -136,6 +137,15 @@ func NewGFp(p int64) GFp {
 		panic("ring: GFp modulus must be a prime below 2^26")
 	}
 	return GFp{P: p}
+}
+
+// ParseGFp is NewGFp with an error instead of a panic, for moduli that
+// arrive from untrusted inputs (serialized plans, wire requests).
+func ParseGFp(p int64) (GFp, error) {
+	if p <= 1 || p >= 1<<26 || !isPrime(p) {
+		return GFp{}, fmt.Errorf("ring: GFp modulus %d is not a prime below 2^26", p)
+	}
+	return GFp{P: p}, nil
 }
 
 func isPrime(p int64) bool {

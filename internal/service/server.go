@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"lbmm/internal/lbm"
 	"lbmm/internal/matrix"
 	"lbmm/internal/obsv"
+	"lbmm/internal/planstore"
 )
 
 // ErrOverloaded is returned (and mapped to HTTP 503) when the server sheds
@@ -65,6 +67,13 @@ type Config struct {
 	BatchDelay time.Duration
 	// Metrics receives the service counters; a fresh set when nil.
 	Metrics *obsv.CounterSet
+	// Store, when non-nil, adds a persistent second cache tier behind the
+	// in-memory one: on a memory miss the fingerprint is looked up in the
+	// store, and a decoded entry is re-registered without recompiling; only
+	// a miss in both tiers compiles (counted as serve/compiles), with the
+	// fresh plan written back asynchronously. Open it over the same metrics
+	// set so the store/* counters land beside the serve/* ones.
+	Store *planstore.Store
 }
 
 // Validate rejects configurations that are contradictions rather than
@@ -124,6 +133,10 @@ const (
 	MetricFallbacks        = "serve/fallbacks"
 	MetricQueueDepth       = "serve/queue_depth" // gauge
 	MetricActiveWorkers    = "serve/active"      // gauge
+	// MetricCompiles counts plans compiled from structure — misses of every
+	// cache tier. A warm restart against a populated store serves its whole
+	// working set with this counter at zero.
+	MetricCompiles = "serve/compiles"
 
 	// Batching metrics (docs/SERVICE.md "Batching"). MetricBatchSize is a
 	// histogram prefix: the counter set carries batch/size/le_N cumulative
@@ -150,6 +163,11 @@ type Server struct {
 	coal      *batch.Coalescer[*batchLane]
 	batchHist *obsv.Histogram
 	laneCount atomic.Int64
+
+	// storeWG tracks asynchronous plan-store write-backs so Close can drain
+	// them: a server shutting down right after compiling must not lose the
+	// write that would make the next process start warm.
+	storeWG sync.WaitGroup
 }
 
 // NewServer builds a server from the config. It panics if the config fails
@@ -175,13 +193,15 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-// Close drains the batching subsystem: pending groups launch immediately,
-// in-flight batches finish, and later batched requests are shed. A server
-// without batching has nothing to drain.
+// Close drains the server's background work: pending batch groups launch
+// immediately, in-flight batches finish, later batched requests are shed,
+// and every asynchronous plan-store write-back completes. A server without
+// batching or a store has nothing to drain.
 func (s *Server) Close() {
 	if s.coal != nil {
 		s.coal.Close()
 	}
+	s.storeWG.Wait()
 }
 
 // Cache exposes the server's plan cache (read-mostly introspection).
@@ -252,9 +272,18 @@ func (s *Server) release() {
 	s.metrics.Set(MetricActiveWorkers, s.active.Add(-1))
 }
 
-// prepared resolves (or compiles and caches) the plan for the given
-// supports and options, returning the plan, its fingerprint, and whether it
-// was a cache hit.
+// prepared resolves the plan for the given supports and options through the
+// cache tiers — in-memory first, then the persistent store, compiling from
+// structure only when both miss — returning the plan, its fingerprint, and
+// whether it was served without compiling (either tier hit).
+//
+// The in-memory tier's singleflight covers both lower tiers: concurrent
+// requests for one fingerprint share a single store read or compile. A
+// fresh compile is written back to the store asynchronously (the request
+// does not wait on disk); Close drains those writes. Store read errors are
+// deliberately not fatal — a damaged or cross-version entry was already
+// quarantined by the store, and the request falls through to a compile
+// exactly as if the tier had missed.
 func (s *Server) prepared(ahat, bhat, xhat *matrix.Support, opts core.Options) (*core.Prepared, string, bool, error) {
 	// The serving layer always runs the default (compiled) engine; the
 	// fingerprint is engine-agnostic, so a cached plan must not inherit an
@@ -264,13 +293,31 @@ func (s *Server) prepared(ahat, bhat, xhat *matrix.Support, opts core.Options) (
 	if err != nil {
 		return nil, "", false, err
 	}
+	storeHit := false
 	prep, hit, err := s.cache.Get(fp, func() (*core.Prepared, error) {
-		return core.Prepare(ahat, bhat, xhat, opts)
+		if s.cfg.Store != nil {
+			if p, err := s.cfg.Store.Get(fp); err == nil {
+				storeHit = true
+				return p, nil
+			}
+		}
+		s.metrics.Add(MetricCompiles, 1)
+		p, err := core.Prepare(ahat, bhat, xhat, opts)
+		if err == nil && s.cfg.Store != nil {
+			s.storeWG.Add(1)
+			go func() {
+				defer s.storeWG.Done()
+				// Best-effort: a failed write-back costs the next process a
+				// recompile, nothing else.
+				_ = s.cfg.Store.Put(fp, p)
+			}()
+		}
+		return p, err
 	})
 	if err != nil {
 		return nil, fp, false, err
 	}
-	return prep, fp, hit, nil
+	return prep, fp, hit || storeHit, nil
 }
 
 // MultiplyRequest is one serving-layer multiplication: values A and B, the
@@ -337,11 +384,20 @@ func (s *Server) runFaultPolicy(trace bool, run func(core.ExecOpts) error) error
 		}
 	}
 	s.metrics.Add(MetricFallbacks, 1)
+	faultErr := err
 	err = run(core.ExecOpts{
 		Trace:    trace,
 		Engine:   string(algo.EngineMap),
 		Injector: inject(string(algo.EngineMap)),
 	})
+	if errors.Is(err, algo.ErrNoMapForm) {
+		// The plan was restored from the persistent store, which carries
+		// only the compiled form — there is no map engine to degrade to.
+		// Surface the compiled fault with its provenance rather than the
+		// capability error: the caller's remedy (retry the request) is the
+		// same, and the fault is what actually happened.
+		return faultErr
+	}
 	if err != nil && lbm.IsFault(err) {
 		s.metrics.Add(MetricFaults, 1)
 	}

@@ -15,9 +15,25 @@
 //   - a Server with a bounded worker pool and admission control (queue
 //     depth limit, per-request deadline, typed load shedding via
 //     ErrOverloaded);
+//   - an optional persistent tier (Config.Store, internal/planstore): on a
+//     memory miss the fingerprint is looked up on disk before compiling,
+//     so a restarted process serves previously-compiled structures without
+//     recompiling (docs/PLANSTORE.md);
 //   - an HTTP/JSON front end (NewHandler) speaking /v1/multiply,
 //     /v1/prepare, /v1/classify, /healthz and /metrics, used by the
 //     `lbmm serve` subcommand.
+//
+// Fingerprints are stable content addresses: core.Fingerprint hashes a
+// canonical serialization of the structure, ring, normalized algorithm and
+// resolved d, independent of construction order, process or machine — which
+// is what makes both cache tiers (and any future shared store) coherent
+// without coordination.
+//
+// Lock ordering: the Cache's mutex is the only lock in this package held
+// across another component's calls, and compile functions run *outside* it
+// (singleflight waiters block on a channel, not the lock). The plan store
+// has its own internal mutex and never calls back into the service, so no
+// lock cycle exists between the tiers.
 //
 // All service counters are published through an obsv.CounterSet (the PR-1
 // observability layer); names are documented in docs/SERVICE.md.
