@@ -19,10 +19,17 @@
 //	lbmm gen  [-n N] [-d D] -o PREFIX   write a generated instance to files
 //	lbmm solve -a A.mtx -b B.mtx -x XHAT.mtx [-o OUT.mtx]   solve from files
 //	lbmm serve [-addr :8080] [-cache N] [-cache-mb MB] [-workers N] [-queue N] [-deadline D] [-batch K] [-batch-delay D] [-store-dir DIR] [-store-mb MB]
+//	           [-ring [-join HOST:PORT] [-node-id ID] [-advertise HOST:PORT] [-vnodes V]]
 //	                        HTTP/JSON multiply server with a prepared-plan
 //	                        cache, admission control and dynamic batching
 //	                        (docs/SERVICE.md); -store-dir adds a persistent
-//	                        plan-store tier for warm restarts (docs/PLANSTORE.md)
+//	                        plan-store tier for warm restarts (docs/PLANSTORE.md);
+//	                        -ring makes the process one shard of a multi-node
+//	                        tier routed by plan fingerprint (docs/SHARDING.md)
+//	lbmm fingerprint [-workload W -n N -d D | -ahat F -bhat F -xhat F] [-ring R] [-alg A]
+//	                 [-shards id1,id2,…] [-via HOST:PORT]
+//	                        print a structure's plan fingerprint (and owning
+//	                        shard) without compiling — the routing debug tool
 //	lbmm plans <list|inspect|prewarm|gc|verify> -store-dir DIR [flags]
 //	                        inspect and maintain a plan store directory
 //	                        (docs/PLANSTORE.md)
@@ -70,6 +77,24 @@ func main() {
 		}
 		return
 	}
+	if cmd == "fingerprint" {
+		// fingerprint reuses flag names (-ring for the semiring) that mean
+		// different things in the generic set; it owns its flags.
+		if err := runFingerprint(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "lbmm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "serve" {
+		// serve owns its flags too: its -ring is the shard-mode switch, not
+		// a semiring name.
+		if err := serveCommand(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "lbmm:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	full := fs.Bool("full", false, "run the larger (slower) sweep sizes")
 	n := fs.Int("n", 64, "demo/gen: matrix dimension / computer count")
@@ -83,16 +108,6 @@ func main() {
 	wlName := fs.String("workload", "blocks", "trace: workload (blocks|mixed|us|hotpair|powerlaw)")
 	format := fs.String("format", "json", "trace: output format (json|csv|text)")
 	profile := fs.Bool("profile", false, "table1: record per-point phase breakdowns")
-	addr := fs.String("addr", ":8080", "serve: listen address")
-	cacheSize := fs.Int("cache", 0, "serve: max cached prepared plans (0 = default 128)")
-	cacheMB := fs.Int("cache-mb", 0, "serve: max total compiled size of cached plans in MiB (0 = unbounded)")
-	workers := fs.Int("workers", 0, "serve: worker pool size (0 = GOMAXPROCS)")
-	queue := fs.Int("queue", 0, "serve: admission queue depth (0 = 4×workers)")
-	deadline := fs.Duration("deadline", 0, "serve: default per-request deadline (0 = 30s)")
-	batchSize := fs.Int("batch", 0, "serve: max lanes coalesced per batch (0 or 1 = batching off)")
-	batchDelay := fs.Duration("batch-delay", 0, "serve: max time a request waits for lane-mates (0 = 2ms when batching)")
-	storeDir := fs.String("store-dir", "", "serve: persistent plan store directory (empty = no disk tier)")
-	storeMB := fs.Int("store-mb", 0, "serve: plan store size budget in MiB (0 = unbounded)")
 	engine := fs.String("engine", "", "demo: execution engine (compiled|map; default compiled)")
 	iters := fs.Int("iters", 50, "benchpr3: multiplications per engine")
 	cases := fs.Int("cases", 200, "chaos: randomized differential cases")
@@ -138,8 +153,6 @@ func main() {
 		err = runGen(*n, *d, *outPath)
 	case "solve":
 		err = runSolve(*aPath, *bPath, *xPath, *outPath, *ringName)
-	case "serve":
-		err = runServe(*addr, *cacheSize, *cacheMB, *workers, *queue, *deadline, *batchSize, *batchDelay, *storeDir, *storeMB)
 	case "benchpr3":
 		err = runBenchPR3(*n, *d, *iters, *outPath)
 	case "benchpr5":
@@ -173,7 +186,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|plans|benchpr3|benchpr5|chaos|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|fingerprint|plans|benchpr3|benchpr5|chaos|all> [flags]`)
 }
 
 func runTable1(scale exper.Scale, profile bool) error {

@@ -1,39 +1,98 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"lbmm/internal/obsv"
 	"lbmm/internal/planstore"
 	"lbmm/internal/service"
+	"lbmm/internal/shard"
 )
+
+// serveCommand parses `lbmm serve` flags. serve owns its flag set (like
+// plans and fingerprint) because -ring here is the shard-mode switch, while
+// the generic set uses -ring for a semiring name.
+func serveCommand(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var o serveOpts
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.cacheSize, "cache", 0, "max cached prepared plans (0 = default 128)")
+	fs.IntVar(&o.cacheMB, "cache-mb", 0, "max total compiled size of cached plans in MiB (0 = unbounded)")
+	fs.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&o.queueDepth, "queue", 0, "admission queue depth (0 = 4×workers)")
+	fs.DurationVar(&o.deadline, "deadline", 0, "default per-request deadline (0 = 30s)")
+	fs.IntVar(&o.batchSize, "batch", 0, "max lanes coalesced per batch (0 or 1 = batching off)")
+	fs.DurationVar(&o.batchDelay, "batch-delay", 0, "max time a request waits for lane-mates (0 = 2ms when batching)")
+	fs.StringVar(&o.storeDir, "store-dir", "", "persistent plan store directory (empty = no disk tier)")
+	fs.IntVar(&o.storeMB, "store-mb", 0, "plan store size budget in MiB (0 = unbounded)")
+	fs.BoolVar(&o.ring, "ring", false, "run as one shard of a multi-node ring (docs/SHARDING.md)")
+	fs.StringVar(&o.nodeID, "node-id", "", "stable shard identity (default: advertised address)")
+	fs.StringVar(&o.advertise, "advertise", "", "host:port peers dial (default: -addr, localhost when unqualified)")
+	fs.StringVar(&o.join, "join", "", "host:port of any existing ring member to join")
+	fs.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per shard on the ownership ring (0 = default 64)")
+	_ = fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
+	}
+	return runServe(o)
+}
+
+// serveOpts carries the `lbmm serve` flags.
+type serveOpts struct {
+	addr       string
+	cacheSize  int
+	cacheMB    int
+	workers    int
+	queueDepth int
+	deadline   time.Duration
+	batchSize  int
+	batchDelay time.Duration
+	storeDir   string
+	storeMB    int
+
+	// Shard-tier flags (docs/SHARDING.md).
+	ring      bool
+	nodeID    string
+	advertise string
+	join      string
+	vnodes    int
+}
 
 // runServe starts the HTTP serving layer: a prepared-plan cache with
 // admission control and (optionally) dynamic batching in front, speaking
 // the JSON API of docs/SERVICE.md. When storeDir is non-empty the cache
 // gains a persistent second tier (docs/PLANSTORE.md): plans compiled by
-// this process are written back to disk and survive a restart.
-func runServe(addr string, cacheSize, cacheMB, workers, queueDepth int, deadline time.Duration, batchSize int, batchDelay time.Duration, storeDir string, storeMB int) error {
+// this process are written back to disk and survive a restart. With -ring
+// the process becomes one shard of a multi-node tier (docs/SHARDING.md):
+// requests are routed to their owning shard by plan fingerprint, and
+// membership is maintained by alive-checks over /shard/v1/.
+func runServe(o serveOpts) error {
+	// One shared counter set so GET /metrics reports the store/* and
+	// shard/* counters beside the serve/* ones.
+	ms := obsv.NewCounterSet()
 	cfg := service.Config{
-		CacheSize:  cacheSize,
-		CacheBytes: int64(cacheMB) << 20,
-		Workers:    workers,
-		QueueDepth: queueDepth,
-		Deadline:   deadline,
-		BatchSize:  batchSize,
-		BatchDelay: batchDelay,
+		CacheSize:  o.cacheSize,
+		CacheBytes: int64(o.cacheMB) << 20,
+		Workers:    o.workers,
+		QueueDepth: o.queueDepth,
+		Deadline:   o.deadline,
+		BatchSize:  o.batchSize,
+		BatchDelay: o.batchDelay,
+		Metrics:    ms,
 	}
-	if storeDir != "" {
-		// One shared counter set so GET /metrics reports the store/*
-		// counters beside the serve/* ones.
-		ms := obsv.NewCounterSet()
-		st, err := planstore.Open(storeDir, int64(storeMB)<<20, ms)
+	if o.storeDir != "" {
+		st, err := planstore.Open(o.storeDir, int64(o.storeMB)<<20, ms)
 		if err != nil {
 			return fmt.Errorf("open plan store: %w", err)
 		}
-		cfg.Metrics = ms
 		cfg.Store = st
 	}
 	// Validate up front so a bad flag is a friendly CLI error, not a panic
@@ -44,17 +103,60 @@ func runServe(addr string, cacheSize, cacheMB, workers, queueDepth int, deadline
 	srv := service.NewServer(cfg)
 	eff := srv.Config()
 	fmt.Printf("lbmm serve: listening on %s (cache %d plans / %d MiB, %d workers, queue %d, deadline %s)\n",
-		addr, eff.CacheSize, eff.CacheBytes>>20, eff.Workers, eff.QueueDepth, eff.Deadline)
+		o.addr, eff.CacheSize, eff.CacheBytes>>20, eff.Workers, eff.QueueDepth, eff.Deadline)
 	if eff.BatchSize > 1 {
 		fmt.Printf("  batching: up to %d lanes per plan, max delay %s\n", eff.BatchSize, eff.BatchDelay)
 	}
 	if eff.Store != nil {
 		budget := "unbounded"
-		if storeMB > 0 {
-			budget = fmt.Sprintf("%d MiB", storeMB)
+		if o.storeMB > 0 {
+			budget = fmt.Sprintf("%d MiB", o.storeMB)
 		}
 		fmt.Printf("  plan store: %s (budget %s)\n", eff.Store.Dir(), budget)
 	}
+	handler := http.Handler(service.NewHandler(srv))
+
+	if o.ring {
+		advertise := o.advertise
+		if advertise == "" {
+			advertise = o.addr
+			if strings.HasPrefix(advertise, ":") {
+				advertise = "127.0.0.1" + advertise
+			}
+		}
+		node := shard.NewNode(shard.Config{
+			ID:      o.nodeID,
+			Addr:    advertise,
+			VNodes:  o.vnodes,
+			Metrics: ms,
+			Logf:    log.Printf,
+		})
+		router := shard.NewRouter(node, handler, nil, ms)
+		handler = router.Handler()
+		if err := node.Start(o.join); err != nil {
+			return err
+		}
+		fmt.Printf("  shard: node %s at %s", node.Self().ID, node.Self().Addr)
+		if o.join != "" {
+			fmt.Printf(", joined ring via %s", o.join)
+		} else {
+			fmt.Printf(", new ring")
+		}
+		fmt.Printf(" (/shard/v1/ protocol, %d members in view)\n", len(node.View().Members))
+
+		// A graceful stop announces the departure so survivors rebalance
+		// immediately; a SIGKILL exercises the alive-check path instead.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sig
+			node.Leave()
+			node.Stop()
+			srv.Close()
+			os.Exit(0)
+		}()
+	}
+
 	fmt.Printf("  POST /v1/multiply  POST /v1/multiply/batch  POST /v1/prepare  POST /v1/classify  GET /healthz  GET /metrics\n")
-	return http.ListenAndServe(addr, service.NewHandler(srv))
+	return http.ListenAndServe(o.addr, handler)
 }

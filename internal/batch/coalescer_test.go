@@ -161,3 +161,61 @@ func TestCoalescerConcurrent(t *testing.T) {
 		t.Errorf("launched %d of %d items", len(seen), n)
 	}
 }
+
+// TestCoalescerCloseRaceExactlyOnce races Submit against Close from many
+// goroutines, repeatedly, under the race detector. The contract it pins is
+// the shutdown half of coalescing: every submission that was ACCEPTED
+// (Submit returned nil) is delivered to run exactly once — the closing
+// flush neither drops a parked item nor launches its group twice — and
+// every rejected submission got ErrClosed, nothing else.
+func TestCoalescerCloseRaceExactlyOnce(t *testing.T) {
+	const n = 32
+	for round := 0; round < 25; round++ {
+		var mu sync.Mutex
+		delivered := map[int]int{}
+		c := New[int](Config{MaxBatch: 4, MaxDelay: time.Hour}, func(key string, items []int, why Reason) {
+			mu.Lock()
+			for _, v := range items {
+				delivered[v]++
+			}
+			mu.Unlock()
+		})
+		accepted := make([]bool, n)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				switch err := c.Submit("k", i); err {
+				case nil:
+					accepted[i] = true
+				case ErrClosed:
+				default:
+					t.Errorf("round %d: Submit returned %v", round, err)
+				}
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			c.Close()
+		}()
+		close(start)
+		wg.Wait()
+		c.Close() // idempotent, and guarantees every launched run finished
+
+		mu.Lock()
+		for i := 0; i < n; i++ {
+			if accepted[i] && delivered[i] != 1 {
+				t.Fatalf("round %d: accepted item %d delivered %d times", round, i, delivered[i])
+			}
+			if !accepted[i] && delivered[i] != 0 {
+				t.Fatalf("round %d: rejected item %d delivered %d times", round, i, delivered[i])
+			}
+		}
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,32 @@
+package chaos
+
+// Drill is the process-kill counterpart of FaultPlan: a seedable schedule
+// of which member of an N-node fleet dies in each drill round. Fault plans
+// strike messages inside one execution; a Drill strikes whole processes —
+// the failure the shard tier's membership ring (internal/shard) exists to
+// absorb. Like every verdict in this package it is a pure hash of
+// (seed, round), so a drill replays identically across runs, hosts and the
+// CI harness.
+type Drill struct {
+	// Seed keys the victim selection; equal seeds replay equal drills.
+	Seed int64
+}
+
+// Victim returns the index in [0, n) of the member to kill in the given
+// drill round. n <= 0 returns -1 (nothing to kill).
+func (d Drill) Victim(round, n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return int(uint64(unit(uint64(d.Seed), uint64(round), 0x6472696c6c) * float64(n)))
+}
+
+// Victims returns the first rounds victims of the drill — the full
+// schedule a multi-round failover test walks through.
+func (d Drill) Victims(rounds, n int) []int {
+	out := make([]int, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		out = append(out, d.Victim(r, n))
+	}
+	return out
+}

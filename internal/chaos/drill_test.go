@@ -1,0 +1,62 @@
+package chaos
+
+import "testing"
+
+func TestDrillVictimInRange(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		d := Drill{Seed: seed}
+		for round := 0; round < 200; round++ {
+			for _, n := range []int{1, 2, 3, 5, 16} {
+				v := d.Victim(round, n)
+				if v < 0 || v >= n {
+					t.Fatalf("seed %d round %d n %d: victim %d out of range", seed, round, n, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDrillDeterministic(t *testing.T) {
+	a := Drill{Seed: 42}.Victims(64, 5)
+	b := Drill{Seed: 42}.Victims(64, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d: equal seeds disagree (%d vs %d)", i, a[i], b[i])
+		}
+	}
+	c := Drill{Seed: 43}.Victims(64, 5)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical 64-round schedules")
+	}
+}
+
+func TestDrillEmptyFleet(t *testing.T) {
+	if v := (Drill{Seed: 1}).Victim(0, 0); v != -1 {
+		t.Fatalf("n=0: got %d, want -1", v)
+	}
+	if v := (Drill{Seed: 1}).Victim(3, -2); v != -1 {
+		t.Fatalf("n<0: got %d, want -1", v)
+	}
+}
+
+func TestDrillSpreadsVictims(t *testing.T) {
+	// Over many rounds every member of a small fleet should be hit at
+	// least once — the schedule is a hash, not a constant.
+	const n = 4
+	hit := make([]bool, n)
+	for _, v := range (Drill{Seed: 7}).Victims(256, n) {
+		hit[v] = true
+	}
+	for i, h := range hit {
+		if !h {
+			t.Fatalf("member %d never chosen as victim in 256 rounds", i)
+		}
+	}
+}

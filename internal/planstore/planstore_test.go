@@ -413,3 +413,72 @@ func TestStoreConcurrentWritersAndReaders(t *testing.T) {
 		t.Fatalf("concurrent writes quarantined entries: %v", qs)
 	}
 }
+
+// TestStoreGetTouchesLRU is the cache-fidelity regression for the mtime
+// touch in Get: a HIT must count as a USE. An entry that is old on disk but
+// hot in traffic has to outlive a younger entry nobody reads — without the
+// touch, GC would evict by write time and throw away the hottest plans
+// first on every budget squeeze.
+func TestStoreGetTouchesLRU(t *testing.T) {
+	dir := t.TempDir()
+	s, err := planstore.Open(dir, 0, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var fps []string
+	var maxBytes int64
+	for seed := int64(30); seed < 33; seed++ {
+		p, fp := plan(t, seed)
+		if err := s.Put(fp, p); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		fps = append(fps, fp)
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, e := range entries {
+		if e.Bytes > maxBytes {
+			maxBytes = e.Bytes
+		}
+	}
+	// On-disk ages: fps[0] oldest, fps[2] newest.
+	base := time.Now().Add(-3 * time.Hour)
+	for i, fp := range fps {
+		when := base.Add(time.Duration(i) * time.Hour)
+		if err := os.Chtimes(entryPath(dir, fp), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A budgeted process serves the OLDEST entry — the hit must promote it.
+	s2, err := planstore.Open(dir, 2*maxBytes+1, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := s2.Get(fps[0]); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if evicted, _, err := s2.GC(); err != nil || evicted < 1 {
+		t.Fatalf("gc evicted %d (err %v), want at least 1", evicted, err)
+	}
+
+	left, err := s2.List()
+	if err != nil {
+		t.Fatalf("list after gc: %v", err)
+	}
+	survivors := map[string]bool{}
+	for _, e := range left {
+		survivors[e.Fingerprint] = true
+	}
+	if !survivors[fps[0]] {
+		t.Fatalf("hit entry %s evicted over the untouched newer %s", fps[0], fps[1])
+	}
+	if survivors[fps[1]] {
+		t.Fatalf("untouched entry %s survived while budget forced an eviction", fps[1])
+	}
+	if !survivors[fps[2]] {
+		t.Fatalf("newest entry %s evicted", fps[2])
+	}
+}

@@ -279,3 +279,115 @@ func TestServerBatchDrain(t *testing.T) {
 		t.Errorf("request after Close: err = %v, want ErrOverloaded", err)
 	}
 }
+
+// TestServerCloseFlushesOpenWindowExactlyOnce parks several same-structure
+// requests in an open coalesce window (the delay is an hour; only Close can
+// launch them) and closes the server mid-window. Every parked caller must
+// get its own correct product — no lane dropped — and the flush must launch
+// exactly one batch: launch_flush is 1 and every lane rode in it.
+func TestServerCloseFlushesOpenWindowExactlyOnce(t *testing.T) {
+	const k = 5
+	srv := NewServer(Config{
+		CacheSize:  4,
+		Workers:    2,
+		BatchSize:  64,
+		BatchDelay: time.Hour,
+	})
+	type outcome struct {
+		seed int64
+		err  error
+	}
+	done := make(chan outcome, k)
+	for i := 0; i < k; i++ {
+		go func(seed int64) {
+			req, want := faultReq(ring.Counting{}, seed)
+			resp, err := srv.Multiply(context.Background(), req)
+			if err == nil && !matrix.Equal(resp.X, want) {
+				err = errors.New("wrong product")
+			}
+			done <- outcome{seed, err}
+		}(int64(20 + 2*i))
+	}
+	for i := 0; srv.coal.Pending() < k && i < 2000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.coal.Pending(); got != k {
+		t.Fatalf("parked %d lanes, want %d", got, k)
+	}
+	srv.Close()
+	for i := 0; i < k; i++ {
+		if out := <-done; out.err != nil {
+			t.Fatalf("flushed lane (seed %d): %v", out.seed, out.err)
+		}
+	}
+	m := srv.Metrics()
+	if m[MetricBatchLaunch+"flush"] != 1 {
+		t.Errorf("launch_flush=%d, want exactly 1", m[MetricBatchLaunch+"flush"])
+	}
+	if m[MetricBatchLaunch+"full"] != 0 || m[MetricBatchLaunch+"timeout"] != 0 {
+		t.Errorf("non-flush launches during drain: %v", m)
+	}
+	if m[MetricServed] != k {
+		t.Errorf("served=%d, want %d", m[MetricServed], k)
+	}
+	if m[MetricShed] != 0 {
+		t.Errorf("shed=%d during drain, want 0", m[MetricShed])
+	}
+}
+
+// TestServerCloseHammer races a stream of batching multiplies against
+// Server.Close across several rounds, under the race detector. The contract:
+// every call completes — with a correct product or ErrOverloaded (closed ==
+// shedding to the caller) — and none hangs or panics in the closing window.
+func TestServerCloseHammer(t *testing.T) {
+	const goroutines, perG = 8, 6
+	for round := 0; round < 4; round++ {
+		srv := NewServer(Config{
+			CacheSize:  4,
+			BatchSize:  4,
+			BatchDelay: time.Millisecond,
+		})
+		var wg sync.WaitGroup
+		var served, shed int64
+		var mu sync.Mutex
+		start := make(chan struct{})
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				req, want := faultReq(ring.Counting{}, seed)
+				<-start
+				for j := 0; j < perG; j++ {
+					resp, err := srv.Multiply(context.Background(), req)
+					switch {
+					case err == nil:
+						if !matrix.Equal(resp.X, want) {
+							t.Errorf("round %d: wrong product", round)
+						}
+						mu.Lock()
+						served++
+						mu.Unlock()
+					case errors.Is(err, ErrOverloaded):
+						mu.Lock()
+						shed++
+						mu.Unlock()
+					default:
+						t.Errorf("round %d: unexpected error %v", round, err)
+					}
+				}
+			}(int64(40 + 2*g))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			time.Sleep(time.Duration(round) * 500 * time.Microsecond)
+			srv.Close()
+		}()
+		close(start)
+		wg.Wait()
+		if served+shed != goroutines*perG {
+			t.Fatalf("round %d: %d served + %d shed != %d calls", round, served, shed, goroutines*perG)
+		}
+	}
+}

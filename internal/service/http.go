@@ -447,6 +447,9 @@ func writeServeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrInvalid):
 		writeErr(w, http.StatusBadRequest, err)
 	case errors.Is(err, ErrOverloaded):
+		// Shed means "come back, just not immediately": a Retry-After turns
+		// client retry storms into backoff instead of hammering.
+		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeErr(w, http.StatusGatewayTimeout, err)

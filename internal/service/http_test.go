@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"lbmm/internal/matrix"
 	"lbmm/internal/ring"
@@ -269,5 +270,31 @@ func TestHTTPMultiplyBatch(t *testing.T) {
 	})
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("mixed-structure batch: status %d, want 400: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestHTTPOverloadSetsRetryAfter pins the shed contract on the wire: an
+// ErrOverloaded surfaces as 503 WITH a Retry-After header, so shedding
+// turns client retry storms into backoff instead of an immediate hammer.
+func TestHTTPOverloadSetsRetryAfter(t *testing.T) {
+	srv := NewServer(Config{CacheSize: 4, BatchSize: 4, BatchDelay: time.Millisecond})
+	h := NewHandler(srv)
+	r := ring.Counting{}
+	inst := workload.Blocks(16, 4)
+	a := matrix.Random(inst.Ahat, r, 1)
+	b := matrix.Random(inst.Bhat, r, 2)
+	body := wireMultiplyRequest{
+		N: inst.N, Ring: "counting",
+		A: sparseEntries(a), B: sparseEntries(b), Xhat: supportPositions(inst.Xhat),
+	}
+	// A closed server sheds every batched request — the deterministic way to
+	// get ErrOverloaded over HTTP.
+	srv.Close()
+	rec := postJSON(t, h, "/v1/multiply", body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
 	}
 }

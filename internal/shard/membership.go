@@ -1,0 +1,677 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lbmm/internal/obsv"
+)
+
+// Counter names published by the shard tier (gauges noted).
+const (
+	MetricMembers     = "shard/members"           // gauge: live members in this node's view
+	MetricEpoch       = "shard/epoch"             // gauge: view epoch
+	MetricOwnPermille = "shard/own_permille"      // gauge: share of the key space owned
+	MetricIsLeader    = "shard/is_leader"         // gauge: 1 when this node leads
+	MetricRebalances  = "shard/rebalances"        // membership changes adopted (ownership remapped)
+	MetricRepairs     = "shard/repairs"           // successor deaths this node detected and repaired
+	MetricElections   = "shard/elections"         // leader claims this node made
+	MetricJoins       = "shard/joins"             // join requests handled
+	MetricPings       = "shard/pings"             // alive-checks sent
+	MetricPingFails   = "shard/ping_fails"        // alive-checks that failed
+	MetricForwards    = "shard/forwards"          // requests proxied to their owner
+	MetricForwardMiss = "shard/forward_mismatch"  // forwarded-to requests we did not own
+	MetricForwardFall = "shard/forward_fallbacks" // forwards that failed and were served locally
+)
+
+// View is an epoch-stamped membership snapshot. Higher epochs win
+// everywhere; equal epochs are tie-broken by a canonical digest so two
+// nodes that bump concurrently still converge on one view.
+type View struct {
+	Epoch   uint64   `json:"epoch"`
+	Leader  string   `json:"leader"`
+	Members []Member `json:"members"`
+}
+
+// digest canonically hashes a view for the equal-epoch tiebreak.
+func (v View) digest() uint64 {
+	var b bytes.Buffer
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v.Epoch)
+	b.Write(buf[:])
+	b.WriteString(v.Leader)
+	ms := append([]Member(nil), v.Members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	for _, m := range ms {
+		b.WriteString("\x00")
+		b.WriteString(m.ID)
+		b.WriteString("\x01")
+		b.WriteString(m.Addr)
+	}
+	return hash64(ringDomain, "view", b.String())
+}
+
+// has reports whether id is a member of the view.
+func (v View) has(id string) bool {
+	for _, m := range v.Members {
+		if m.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// sameMembers reports whether two views list the same (ID, Addr) set.
+func sameMembers(a, b View) bool {
+	if len(a.Members) != len(b.Members) {
+		return false
+	}
+	for _, m := range a.Members {
+		found := false
+		for _, o := range b.Members {
+			if o == m {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Config tunes a membership node. The zero value of every field gets a
+// sensible default.
+type Config struct {
+	// ID is the node's stable identity (default: Addr). Ring order — and
+	// therefore next/twice-next pointers — is ID order.
+	ID string
+	// Addr is the advertised HTTP address peers dial, host:port.
+	Addr string
+	// VNodes is the virtual-node count per member (default DefaultVNodes).
+	VNodes int
+	// HeartbeatEvery is the alive-check period (default 250ms).
+	HeartbeatEvery time.Duration
+	// PingTimeout bounds one alive-check round trip (default 1s).
+	PingTimeout time.Duration
+	// SuspectAfter is how many consecutive failed alive-checks declare the
+	// successor dead (default 2: one lost ping is weather, two is a corpse).
+	SuspectAfter int
+	// ElectionMin/ElectionMax bound the randomized wait before a node
+	// claims a vacant leadership (defaults 150ms / 600ms). The jitter makes
+	// one claimant likely; the epoch/digest rule resolves the rest.
+	ElectionMin, ElectionMax time.Duration
+	// Metrics receives the shard/* counters; a fresh set when nil.
+	Metrics *obsv.CounterSet
+	// Logf, when non-nil, receives membership events (joins, repairs,
+	// elections) — the operator trail.
+	Logf func(format string, args ...any)
+	// Client performs peer HTTP calls (default: a client with PingTimeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.ID == "" {
+		c.ID = c.Addr
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.ElectionMin <= 0 {
+		c.ElectionMin = 150 * time.Millisecond
+	}
+	if c.ElectionMax <= c.ElectionMin {
+		c.ElectionMax = c.ElectionMin + 450*time.Millisecond
+	}
+	if c.Metrics == nil {
+		c.Metrics = obsv.NewCounterSet()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.PingTimeout}
+	}
+	return c
+}
+
+// Node is one member of the shard ring: it tracks the membership view,
+// derives the ownership ring from it, alive-checks its successor, repairs
+// the ring through the twice-next pointer when the successor dies, and
+// participates in the minimal leader election. All methods are safe for
+// concurrent use.
+type Node struct {
+	cfg  Config
+	self Member
+
+	mu       sync.Mutex
+	view     View
+	ring     *HashRing
+	failures int         // consecutive alive-check failures on the current successor
+	suspect  string      // the successor the failures count against
+	electAt  *time.Timer // pending leadership claim, nil when none
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	rng      *rand.Rand
+	metrics  *obsv.CounterSet
+}
+
+// NewNode builds a node; it does not join anything until Start.
+func NewNode(cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:     cfg,
+		self:    Member{ID: cfg.ID, Addr: cfg.Addr},
+		stop:    make(chan struct{}),
+		metrics: cfg.Metrics,
+		// Seeded from the node identity: distinct jitter per node, and a
+		// deterministic replay for a given ID (no wall-clock in the seed).
+		rng: rand.New(rand.NewSource(int64(hash64(ringDomain, "jitter", cfg.ID)))),
+	}
+	n.adoptLocked(View{Epoch: 1, Leader: n.self.ID, Members: []Member{n.self}}, "boot")
+	return n
+}
+
+// Self returns this node's member record.
+func (n *Node) Self() Member { return n.self }
+
+// View returns the current membership view.
+func (n *Node) View() View {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return View{Epoch: n.view.Epoch, Leader: n.view.Leader, Members: append([]Member(nil), n.view.Members...)}
+}
+
+// Owner returns the member owning a fingerprint under the current view.
+func (n *Node) Owner(fingerprint string) (Member, bool) {
+	n.mu.Lock()
+	r := n.ring
+	n.mu.Unlock()
+	return r.Owner(fingerprint)
+}
+
+// IsLeader reports whether this node currently leads the ring.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.Leader == n.self.ID
+}
+
+// Start begins the alive-check loop. When join is non-empty the node first
+// announces itself to that address (any existing member) and adopts the
+// returned view; an empty join boots a fresh single-node ring, leader self.
+// The join is retried for a short window so a fleet whose processes start
+// simultaneously (systemd, a test harness) does not die on the race between
+// the seed binding its listener and the joiners dialing it.
+func (n *Node) Start(join string) error {
+	if join != "" {
+		var v View
+		var err error
+		for attempt := 0; attempt < 8; attempt++ {
+			if v, err = n.callJoin(join); err == nil {
+				break
+			}
+			select {
+			case <-n.stop:
+				return fmt.Errorf("shard: join %s: %w", join, err)
+			case <-time.After(time.Duration(attempt+1) * 50 * time.Millisecond):
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("shard: join %s: %w", join, err)
+		}
+		n.mu.Lock()
+		n.maybeAdoptLocked(v, "join")
+		n.mu.Unlock()
+	}
+	n.wg.Add(1)
+	go n.heartbeatLoop()
+	return nil
+}
+
+// Stop halts the alive-check loop and any pending election timer. It does
+// not announce a leave — a stopped node looks exactly like a crashed one,
+// which is the failure path the ring is built to absorb. Use Leave for a
+// graceful departure first.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.mu.Lock()
+	if n.electAt != nil {
+		n.electAt.Stop()
+		n.electAt = nil
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Leave gracefully removes this node from the ring: it bumps the epoch,
+// hands leadership to the lowest surviving ID when it held it, and
+// broadcasts the view so survivors rebalance immediately instead of
+// waiting out an alive-check.
+func (n *Node) Leave() {
+	n.mu.Lock()
+	next := View{Epoch: n.view.Epoch + 1, Leader: n.view.Leader}
+	for _, m := range n.view.Members {
+		if m.ID != n.self.ID {
+			next.Members = append(next.Members, m)
+		}
+	}
+	if next.Leader == n.self.ID {
+		next.Leader = ""
+		if len(next.Members) > 0 {
+			next.Leader = next.Members[0].ID // members are ID-sorted
+		}
+	}
+	peers := n.peersLocked()
+	n.mu.Unlock()
+	n.cfg.Logf("shard %s: leaving ring (epoch %d)", n.self.ID, next.Epoch)
+	n.broadcast(next, peers)
+}
+
+// ---------------------------------------------------------------------------
+// view adoption
+
+// adoptLocked installs a view unconditionally and rebuilds the ownership
+// ring. Caller holds n.mu.
+func (n *Node) adoptLocked(v View, why string) {
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].ID < v.Members[j].ID })
+	membersChanged := !sameMembers(n.view, v)
+	n.view = v
+	if membersChanged || n.ring == nil {
+		n.ring = BuildRing(v.Members, n.cfg.VNodes)
+		if why != "boot" {
+			n.metrics.Add(MetricRebalances, 1)
+		}
+		// Membership changed under the failure detector: restart the count
+		// against whoever the successor is now.
+		n.failures, n.suspect = 0, ""
+	}
+	n.metrics.Set(MetricMembers, int64(len(v.Members)))
+	n.metrics.Set(MetricEpoch, int64(v.Epoch))
+	n.metrics.Set(MetricOwnPermille, n.ring.OwnedPermille(n.self.ID))
+	lead := int64(0)
+	if v.Leader == n.self.ID {
+		lead = 1
+	}
+	n.metrics.Set(MetricIsLeader, lead)
+	n.cfg.Logf("shard %s: view epoch %d, %d members, leader %q (%s)",
+		n.self.ID, v.Epoch, len(v.Members), v.Leader, why)
+}
+
+// maybeAdoptLocked applies the convergence rule: higher epoch wins, equal
+// epochs tie-break on the canonical digest. It schedules an election when
+// the adopted view has no live leader, and re-joins when this node was
+// dropped from a view it is plainly alive to receive. Caller holds n.mu.
+// Returns whether v was adopted.
+func (n *Node) maybeAdoptLocked(v View, why string) bool {
+	cur := n.view
+	if v.Epoch < cur.Epoch || (v.Epoch == cur.Epoch && v.digest() <= cur.digest()) {
+		return false
+	}
+	n.adoptLocked(v, why)
+	if !v.has(n.self.ID) {
+		// A failure detector somewhere declared us dead while we are alive
+		// (a stalled heartbeat, a partition that healed). Re-announce rather
+		// than wedge: bump the epoch with ourselves restored.
+		rejoined := View{Epoch: v.Epoch + 1, Leader: v.Leader, Members: append(v.Members, n.self)}
+		if rejoined.Leader == "" {
+			rejoined.Leader = n.self.ID
+		}
+		n.adoptLocked(rejoined, "rejoin")
+		peers := n.peersLocked()
+		go n.broadcast(rejoined, peers)
+		return true
+	}
+	if v.Leader == "" || !v.has(v.Leader) {
+		n.scheduleElectionLocked()
+	} else if n.electAt != nil {
+		// A leader emerged while we were waiting to claim: stand down.
+		n.electAt.Stop()
+		n.electAt = nil
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// ring pointers + alive-check loop
+
+// successorsLocked returns the next and twice-next members after self in ID
+// order, skipping self. ok is false when the node is alone. Caller holds
+// n.mu.
+func (n *Node) successorsLocked() (next, twiceNext Member, ok bool) {
+	ms := n.view.Members // ID-sorted by adoptLocked
+	if len(ms) < 2 {
+		return Member{}, Member{}, false
+	}
+	i := 0
+	for ; i < len(ms); i++ {
+		if ms[i].ID == n.self.ID {
+			break
+		}
+	}
+	next = ms[(i+1)%len(ms)]
+	twiceNext = ms[(i+2)%len(ms)]
+	return next, twiceNext, true
+}
+
+// peersLocked returns every member except self. Caller holds n.mu.
+func (n *Node) peersLocked() []Member {
+	out := make([]Member, 0, len(n.view.Members))
+	for _, m := range n.view.Members {
+		if m.ID != n.self.ID {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// heartbeatLoop is the ring's failure detector: every HeartbeatEvery it
+// alive-checks the successor; SuspectAfter consecutive failures declare it
+// dead and repair the ring through the twice-next pointer. The ping
+// response carries the peer's whole view, so heartbeats double as
+// anti-entropy (a node that missed a broadcast converges on the next beat).
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+			n.checkSuccessor()
+		}
+	}
+}
+
+func (n *Node) checkSuccessor() {
+	n.mu.Lock()
+	next, twiceNext, ok := n.successorsLocked()
+	if !ok {
+		n.failures, n.suspect = 0, ""
+		n.mu.Unlock()
+		return
+	}
+	if n.suspect != next.ID {
+		n.failures, n.suspect = 0, next.ID
+	}
+	n.mu.Unlock()
+
+	n.metrics.Add(MetricPings, 1)
+	v, err := n.callPing(next.Addr)
+	if err == nil {
+		n.mu.Lock()
+		n.failures = 0
+		n.maybeAdoptLocked(v, "gossip")
+		n.mu.Unlock()
+		return
+	}
+	n.metrics.Add(MetricPingFails, 1)
+
+	n.mu.Lock()
+	if n.suspect != next.ID || !n.view.has(next.ID) {
+		// Membership moved under us while the ping was in flight.
+		n.mu.Unlock()
+		return
+	}
+	n.failures++
+	if n.failures < n.cfg.SuspectAfter {
+		n.mu.Unlock()
+		return
+	}
+	// The successor is dead: close the ring over it (the classic repair —
+	// our new successor is the old twice-next) and tell everyone.
+	repaired := View{Epoch: n.view.Epoch + 1, Leader: n.view.Leader}
+	for _, m := range n.view.Members {
+		if m.ID != next.ID {
+			repaired.Members = append(repaired.Members, m)
+		}
+	}
+	if repaired.Leader == next.ID {
+		repaired.Leader = "" // the dead node led; an election will follow
+	}
+	n.metrics.Add(MetricRepairs, 1)
+	n.cfg.Logf("shard %s: successor %s dead after %d failed checks, repairing ring toward %s (epoch %d)",
+		n.self.ID, next.ID, n.failures, twiceNext.ID, repaired.Epoch)
+	n.maybeAdoptLocked(repaired, "repair")
+	peers := n.peersLocked()
+	n.mu.Unlock()
+	n.broadcast(repaired, peers)
+}
+
+// ---------------------------------------------------------------------------
+// leader election
+
+// scheduleElectionLocked arms a randomized-timeout leadership claim — the
+// minimal election the ring needs: leadership only drives anti-entropy
+// broadcasts, so the cost of a transient double-claim is one extra epoch
+// bump, and the epoch/digest rule resolves it. Caller holds n.mu.
+func (n *Node) scheduleElectionLocked() {
+	if n.electAt != nil {
+		return
+	}
+	jitter := n.cfg.ElectionMin +
+		time.Duration(n.rng.Int63n(int64(n.cfg.ElectionMax-n.cfg.ElectionMin)))
+	n.electAt = time.AfterFunc(jitter, func() {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		n.mu.Lock()
+		n.electAt = nil
+		if n.view.Leader != "" && n.view.has(n.view.Leader) {
+			n.mu.Unlock()
+			return // someone claimed while we waited
+		}
+		claimed := View{Epoch: n.view.Epoch + 1, Leader: n.self.ID, Members: n.view.Members}
+		n.metrics.Add(MetricElections, 1)
+		n.cfg.Logf("shard %s: claiming leadership (epoch %d)", n.self.ID, claimed.Epoch)
+		n.adoptLocked(claimed, "elected")
+		peers := n.peersLocked()
+		n.mu.Unlock()
+		n.broadcast(claimed, peers)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// peer HTTP protocol
+
+// wireJoin is the body of POST /shard/v1/join.
+type wireJoin struct {
+	Member Member `json:"member"`
+}
+
+// broadcast pushes a view to peers concurrently. A peer holding a newer
+// view answers with it and the node converges on the reply; unreachable
+// peers are the failure detector's problem, not broadcast's.
+func (n *Node) broadcast(v View, peers []Member) {
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p Member) {
+			defer wg.Done()
+			reply, err := n.postView(p.Addr, v)
+			if err != nil {
+				return
+			}
+			n.mu.Lock()
+			n.maybeAdoptLocked(reply, "broadcast-reply")
+			n.mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (n *Node) callJoin(addr string) (View, error) {
+	body, _ := json.Marshal(wireJoin{Member: n.self})
+	return n.postJSON(addr, "/shard/v1/join", body)
+}
+
+func (n *Node) postView(addr string, v View) (View, error) {
+	body, _ := json.Marshal(v)
+	return n.postJSON(addr, "/shard/v1/view", body)
+}
+
+func (n *Node) callPing(addr string) (View, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PingTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/shard/v1/ping", nil)
+	if err != nil {
+		return View{}, err
+	}
+	return n.doView(req)
+}
+
+func (n *Node) postJSON(addr, path string, body []byte) (View, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PingTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+path, bytes.NewReader(body))
+	if err != nil {
+		return View{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return n.doView(req)
+}
+
+func (n *Node) doView(req *http.Request) (View, error) {
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return View{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return View{}, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return View{}, err
+	}
+	return v, nil
+}
+
+// Handler returns the membership protocol endpoints, to be mounted under
+// /shard/v1/ by the router:
+//
+//	POST /shard/v1/join   a new (or returning) member announces itself
+//	POST /shard/v1/view   epoch-stamped view propagation (returns ours)
+//	POST /shard/v1/leave  graceful departure of a member
+//	GET  /shard/v1/ping   alive-check; the reply carries the full view
+//	GET  /shard/v1/owner  ?fp=… → owning member under the current view
+//	GET  /shard/v1/info   membership + ownership introspection
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /shard/v1/join", func(w http.ResponseWriter, r *http.Request) {
+		var jr wireJoin
+		if err := json.NewDecoder(r.Body).Decode(&jr); err != nil || jr.Member.ID == "" || jr.Member.Addr == "" {
+			http.Error(w, "join needs {member:{id,addr}}", http.StatusBadRequest)
+			return
+		}
+		n.metrics.Add(MetricJoins, 1)
+		n.mu.Lock()
+		joined := View{Epoch: n.view.Epoch + 1, Leader: n.view.Leader}
+		for _, m := range n.view.Members {
+			if m.ID != jr.Member.ID {
+				joined.Members = append(joined.Members, m)
+			}
+		}
+		joined.Members = append(joined.Members, jr.Member)
+		if joined.Leader == "" || !joined.has(joined.Leader) {
+			joined.Leader = n.self.ID
+		}
+		n.cfg.Logf("shard %s: %s joined at %s (epoch %d)", n.self.ID, jr.Member.ID, jr.Member.Addr, joined.Epoch)
+		n.adoptLocked(joined, "member-join")
+		peers := n.peersLocked()
+		n.mu.Unlock()
+		go n.broadcast(joined, peers)
+		writeView(w, joined)
+	})
+	mux.HandleFunc("POST /shard/v1/view", func(w http.ResponseWriter, r *http.Request) {
+		var v View
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			http.Error(w, "bad view body", http.StatusBadRequest)
+			return
+		}
+		n.mu.Lock()
+		n.maybeAdoptLocked(v, "peer-view")
+		cur := n.view
+		n.mu.Unlock()
+		writeView(w, cur)
+	})
+	mux.HandleFunc("POST /shard/v1/leave", func(w http.ResponseWriter, r *http.Request) {
+		var v View
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			http.Error(w, "bad leave body", http.StatusBadRequest)
+			return
+		}
+		n.mu.Lock()
+		n.maybeAdoptLocked(v, "member-leave")
+		cur := n.view
+		n.mu.Unlock()
+		writeView(w, cur)
+	})
+	mux.HandleFunc("GET /shard/v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		writeView(w, n.View())
+	})
+	mux.HandleFunc("GET /shard/v1/owner", func(w http.ResponseWriter, r *http.Request) {
+		fp := r.URL.Query().Get("fp")
+		if fp == "" {
+			http.Error(w, "owner needs ?fp=<fingerprint>", http.StatusBadRequest)
+			return
+		}
+		owner, ok := n.Owner(fp)
+		if !ok {
+			http.Error(w, "empty ring", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"fingerprint": fp, "id": owner.ID, "addr": owner.Addr,
+		})
+	})
+	mux.HandleFunc("GET /shard/v1/info", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		info := struct {
+			Self        Member `json:"self"`
+			View        View   `json:"view"`
+			OwnPermille int64  `json:"own_permille"`
+			VNodes      int    `json:"vnodes"`
+		}{
+			Self:        n.self,
+			View:        n.view,
+			OwnPermille: n.ring.OwnedPermille(n.self.ID),
+			VNodes:      n.cfg.VNodes,
+		}
+		n.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(info)
+	})
+	return mux
+}
+
+func writeView(w http.ResponseWriter, v View) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

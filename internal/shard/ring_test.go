@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fps(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return out
+}
+
+func TestHashRingDeterministic(t *testing.T) {
+	members := []Member{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	r1 := BuildRing(members, 64)
+	// Same membership presented in a different order must map every key
+	// identically — ownership is a pure function of the member set.
+	r2 := BuildRing([]Member{{ID: "c"}, {ID: "a"}, {ID: "b"}}, 64)
+	for _, fp := range fps(500) {
+		o1, ok1 := r1.Owner(fp)
+		o2, ok2 := r2.Owner(fp)
+		if !ok1 || !ok2 {
+			t.Fatalf("owner missing for %s", fp)
+		}
+		if o1.ID != o2.ID {
+			t.Fatalf("ring order changed ownership of %s: %s vs %s", fp, o1.ID, o2.ID)
+		}
+	}
+}
+
+func TestHashRingEmpty(t *testing.T) {
+	if _, ok := BuildRing(nil, 0).Owner("00"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if got := BuildRing(nil, 0).OwnedPermille("a"); got != 0 {
+		t.Fatalf("empty ring owns %d permille", got)
+	}
+}
+
+func TestHashRingBalance(t *testing.T) {
+	members := []Member{{ID: "shard-1"}, {ID: "shard-2"}, {ID: "shard-3"}, {ID: "shard-4"}}
+	r := BuildRing(members, 0) // default vnodes
+	counts := map[string]int{}
+	keys := fps(4000)
+	for _, fp := range keys {
+		o, _ := r.Owner(fp)
+		counts[o.ID]++
+	}
+	var permille int64
+	for _, m := range members {
+		got := counts[m.ID]
+		// With 64 vnodes per member the heaviest shard should stay within
+		// ~2x of fair share; grossly unbalanced ownership defeats the tier.
+		if fair := len(keys) / len(members); got < fair/2 || got > fair*2 {
+			t.Fatalf("shard %s owns %d of %d keys (fair %d)", m.ID, got, len(keys), fair)
+		}
+		permille += r.OwnedPermille(m.ID)
+	}
+	if permille < 990 || permille > 1001 {
+		t.Fatalf("ownership shares sum to %d permille", permille)
+	}
+}
+
+// TestHashRingConsistency is the property the tier rebalances by: removing
+// one member remaps only the keys it owned — every key owned by a survivor
+// keeps its owner, so caches on surviving shards stay warm.
+func TestHashRingConsistency(t *testing.T) {
+	members := []Member{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	before := BuildRing(members, 64)
+	after := BuildRing([]Member{{ID: "a"}, {ID: "b"}}, 64)
+	moved := 0
+	for _, fp := range fps(2000) {
+		was, _ := before.Owner(fp)
+		is, _ := after.Owner(fp)
+		if was.ID == "c" {
+			moved++
+			continue // c's keys must land somewhere else, anywhere is fine
+		}
+		if was.ID != is.ID {
+			t.Fatalf("key %s owned by survivor %s moved to %s", fp, was.ID, is.ID)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys — balance test should have caught this")
+	}
+}
+
+func TestKeyHashMatchesOwnerArcs(t *testing.T) {
+	r := BuildRing([]Member{{ID: "x"}, {ID: "y"}}, 8)
+	// Owner must be stable across repeated calls (immutable ring).
+	for _, fp := range fps(50) {
+		a, _ := r.Owner(fp)
+		b, _ := r.Owner(fp)
+		if a != b {
+			t.Fatalf("owner of %s unstable", fp)
+		}
+	}
+}
