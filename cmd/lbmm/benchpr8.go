@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"lbmm/internal/core"
+	"lbmm/internal/dist"
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// runBenchPR8 prices the transport seam on the Table 1 workloads: the same
+// prepared plan executed on the nil-transport fast path, through the
+// loopback seam, and across a three-participant localhost TCP mesh. The
+// interesting numbers are the seam's overhead (loopback vs direct), the
+// socket cost per round (tcp vs loopback), and the wire amplification
+// (framed bytes vs the model's 8-byte-per-message volume). The JSON
+// artifact is committed as BENCH_PR8.json.
+
+type benchTransportCase struct {
+	Name      string `json:"name"`
+	N         int    `json:"n"`
+	D         int    `json:"d"`
+	Algorithm string `json:"algorithm"`
+	Ring      string `json:"ring"`
+	Iters     int    `json:"iters"`
+	Rounds    int    `json:"rounds"`
+	// NetRounds counts the rounds that touch the transport (rounds with at
+	// least one real message); the remainder are free local-copy rounds.
+	NetRounds int `json:"net_rounds"`
+	// Per-multiply wall clock on each backend.
+	DirectNS   float64 `json:"direct_ns"`
+	LoopbackNS float64 `json:"loopback_ns"`
+	TCPNS      float64 `json:"tcp_ns"`
+	// ModelBytesPerRound is the model-level payload volume per network
+	// round (Stats.RoundBytes mean); WireBytesPerRound the framed TCP bytes
+	// actually written per network round, summed over the three endpoints.
+	ModelBytesPerRound float64 `json:"model_bytes_per_round"`
+	WireBytesPerRound  float64 `json:"wire_bytes_per_round"`
+	// TCPRoundNS is the mean barrier latency per network round.
+	TCPRoundNS float64 `json:"tcp_round_ns"`
+}
+
+type benchPR8Report struct {
+	Schema    string               `json:"schema"`
+	GoVersion string               `json:"go_version"`
+	Workers   int                  `json:"workers"`
+	Cases     []benchTransportCase `json:"cases"`
+}
+
+func runBenchPR8(n, d, iters int, outPath string) error {
+	if iters <= 0 {
+		iters = 20
+	}
+	type spec struct {
+		name string
+		alg  string
+		r    ring.Semiring
+	}
+	specs := []spec{
+		{"lemma31/counting", "lemma31", ring.Counting{}},
+		{"theorem42/real", "theorem42", ring.Real{}},
+	}
+	const workers = 3
+	report := benchPR8Report{Schema: "lbmm.bench_pr8.v1", GoVersion: runtime.Version(), Workers: workers}
+	for _, sp := range specs {
+		inst := workload.Instance(matrix.US, matrix.US, matrix.US, n, d, 42)
+		prep, err := core.Prepare(inst.Ahat, inst.Bhat, inst.Xhat, core.Options{
+			Ring: sp.r, D: d, Algorithm: sp.alg, Engine: "compiled",
+		})
+		if err != nil {
+			return fmt.Errorf("%s: prepare: %w", sp.name, err)
+		}
+		a := matrix.Random(inst.Ahat, sp.r, 1)
+		b := matrix.Random(inst.Bhat, sp.r, 2)
+
+		direct, stats, err := timeBackend(iters, func() (lbm.Stats, error) {
+			_, rep, err := prep.Multiply(a, b)
+			if err != nil {
+				return lbm.Stats{}, err
+			}
+			return rep.Stats, nil
+		})
+		if err != nil {
+			return fmt.Errorf("%s: direct: %w", sp.name, err)
+		}
+		loopback, _, err := timeBackend(iters, func() (lbm.Stats, error) {
+			_, rep, err := prep.MultiplyOpts(a, b, core.ExecOpts{Transport: &lbm.Loopback{}})
+			if err != nil {
+				return lbm.Stats{}, err
+			}
+			return rep.Stats, nil
+		})
+		if err != nil {
+			return fmt.Errorf("%s: loopback: %w", sp.name, err)
+		}
+
+		meshes, stop, err := dist.NewLocalMesh(workers)
+		if err != nil {
+			return err
+		}
+		tcp, err := timeMesh(iters, prep, a, b, meshes)
+		if err != nil {
+			stop()
+			return fmt.Errorf("%s: tcp: %w", sp.name, err)
+		}
+		var wireBytes, roundNS int64
+		for _, m := range meshes {
+			wireBytes += m.Counters().Get(dist.CounterBytesSent)
+			roundNS += m.Counters().Get(dist.CounterRoundNS)
+		}
+		stop()
+
+		var modelBytes int64
+		for _, rb := range stats.RoundBytes {
+			modelBytes += rb
+		}
+		netRounds := len(stats.RoundBytes)
+		totalNetRounds := float64(iters * netRounds)
+		bc := benchTransportCase{
+			Name:       sp.name,
+			N:          n,
+			D:          d,
+			Algorithm:  sp.alg,
+			Ring:       sp.r.Name(),
+			Iters:      iters,
+			Rounds:     stats.Rounds,
+			NetRounds:  netRounds,
+			DirectNS:   direct,
+			LoopbackNS: loopback,
+			TCPNS:      tcp,
+		}
+		if netRounds > 0 {
+			bc.ModelBytesPerRound = float64(modelBytes) / float64(netRounds)
+			bc.WireBytesPerRound = float64(wireBytes) / totalNetRounds
+			// Every endpoint measures the same barrier concurrently; charge
+			// the mean, not the triple-counted sum.
+			bc.TCPRoundNS = float64(roundNS) / float64(workers) / totalNetRounds
+		}
+		report.Cases = append(report.Cases, bc)
+		fmt.Printf("%-20s direct %9.0f ns  loopback %9.0f ns  tcp %10.0f ns  (%d net rounds, %.0f model B/round, %.0f wire B/round)\n",
+			sp.name, bc.DirectNS, bc.LoopbackNS, bc.TCPNS, bc.NetRounds, bc.ModelBytesPerRound, bc.WireBytesPerRound)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		outPath = "BENCH_PR8.json"
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// timeBackend times iters runs of one backend after one warm-up, returning
+// mean ns per multiply and the last run's stats.
+func timeBackend(iters int, run func() (lbm.Stats, error)) (float64, lbm.Stats, error) {
+	stats, err := run()
+	if err != nil {
+		return 0, stats, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if stats, err = run(); err != nil {
+			return 0, stats, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), stats, nil
+}
+
+// timeMesh times iters partitioned runs over an established local mesh: all
+// ranks execute concurrently, so one iteration costs one barrier-synced
+// walk, like a real deployment.
+func timeMesh(iters int, prep *core.Prepared, a, b *matrix.Sparse, meshes []*dist.Mesh) (float64, error) {
+	runOnce := func() error {
+		errs := make([]error, len(meshes))
+		var wg sync.WaitGroup
+		for rk := range meshes {
+			wg.Add(1)
+			go func(rk int) {
+				defer wg.Done()
+				_, _, errs[rk] = prep.MultiplyOpts(a, b, core.ExecOpts{Transport: meshes[rk]})
+			}(rk)
+		}
+		wg.Wait()
+		for rk, err := range errs {
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rk, err)
+			}
+		}
+		return nil
+	}
+	if err := runOnce(); err != nil {
+		return 0, err
+	}
+	// Drop the warm-up's wire bytes so per-round numbers cover the timed
+	// iterations only.
+	for _, m := range meshes {
+		m.Counters().Set(dist.CounterBytesSent, 0)
+		m.Counters().Set(dist.CounterRoundNS, 0)
+		m.Counters().Set(dist.CounterFlushes, 0)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := runOnce(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}

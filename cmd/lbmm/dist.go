@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"lbmm/internal/core"
+	"lbmm/internal/dist"
+	"lbmm/internal/matrix"
+)
+
+// runWorker runs one worker process: it serves distributed-multiply jobs
+// until killed. Owns its flags (dispatched before the generic parse).
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	addr := fs.String("addr", ":7070", "listen address for jobs and peer connections")
+	quiet := fs.Bool("q", false, "suppress per-connection logging")
+	peerTO := fs.Duration("peer-timeout", 30*time.Second, "how long a job waits for its mesh to form")
+	readTO := fs.Duration("read-timeout", 60*time.Second, "per-round barrier deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := dist.WorkerOptions{PeerTimeout: *peerTO, ReadTimeout: *readTO}
+	if !*quiet {
+		logger := log.New(os.Stderr, "lbmm worker: ", log.LstdFlags)
+		opts.Log = logger.Printf
+	}
+	return dist.ListenAndServe(*addr, opts)
+}
+
+// distRunReport is the JSON summary of one coordinated distributed
+// multiplication (schema lbmm.dist_run.v1). CI asserts on .match and
+// .net.bytes_sent.
+type distRunReport struct {
+	Schema    string           `json:"schema"`
+	Workers   int              `json:"workers"`
+	Workload  string           `json:"workload"`
+	N         int              `json:"n"`
+	D         int              `json:"d"`
+	Algorithm string           `json:"algorithm"`
+	Ring      string           `json:"ring"`
+	Rounds    int              `json:"rounds"`
+	Messages  int64            `json:"messages"`
+	OutputNNZ int              `json:"output_nnz"`
+	Match     bool             `json:"match"`
+	WallNS    int64            `json:"wall_ns"`
+	Net       map[string]int64 `json:"net"`
+}
+
+// runDistRun coordinates one multiplication across real worker processes
+// and verifies the merged product against the in-process engine. Owns its
+// flags: -workers here is the address list, not serve's pool size.
+func runDistRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workers := fs.String("workers", "", "comma-separated worker addresses (rank order)")
+	wlName := fs.String("workload", "blocks", "workload (blocks|mixed|us|hotpair|powerlaw)")
+	n := fs.Int("n", 48, "matrix dimension / computer count")
+	d := fs.Int("d", 4, "sparsity parameter")
+	algName := fs.String("alg", "lemma31", "algorithm (auto|theorem42|lemma31)")
+	ringName := fs.String("ring", "real", "semiring (boolean|counting|minplus|maxplus|gfp|real)")
+	seed := fs.Int64("seed", 1, "value seed (equal seeds replay equal values)")
+	outPath := fs.String("o", "", "also write the JSON report to this file")
+	noVerify := fs.Bool("no-verify", false, "skip the in-process cross-check")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := strings.Split(*workers, ",")
+	if *workers == "" || len(addrs) < 2 {
+		return fmt.Errorf("run needs -workers with at least 2 comma-separated addresses")
+	}
+
+	inst, err := workloadInstance(*wlName, *n, *d)
+	if err != nil {
+		return err
+	}
+	r, err := matrix.RingByName(*ringName)
+	if err != nil {
+		return err
+	}
+	prep, err := core.Prepare(inst.Ahat, inst.Bhat, inst.Xhat, core.Options{
+		Ring: r, D: *d, Algorithm: *algName, Engine: "compiled",
+	})
+	if err != nil {
+		return err
+	}
+	a := matrix.Random(inst.Ahat, r, *seed)
+	b := matrix.Random(inst.Bhat, r, *seed+1)
+
+	start := time.Now()
+	res, err := dist.Run(dist.RunConfig{
+		Workers: addrs,
+		Prep:    prep,
+		A:       a,
+		B:       b,
+		N:       inst.Ahat.N,
+		Ring:    *ringName,
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	match := true
+	if !*noVerify {
+		want, _, err := prep.Multiply(a, b)
+		if err != nil {
+			return fmt.Errorf("in-process cross-check: %w", err)
+		}
+		match = matrix.Equal(res.X, want)
+	}
+	report := distRunReport{
+		Schema:    "lbmm.dist_run.v1",
+		Workers:   len(addrs),
+		Workload:  *wlName,
+		N:         *n,
+		D:         *d,
+		Algorithm: *algName,
+		Ring:      *ringName,
+		Rounds:    res.Stats.Rounds,
+		Messages:  res.Stats.Messages,
+		OutputNNZ: res.X.NNZ(),
+		Match:     match,
+		WallNS:    wall.Nanoseconds(),
+		Net:       counterJSON(res.Counters),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	os.Stdout.Write(data)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if !match {
+		return fmt.Errorf("distributed product does not match the in-process product")
+	}
+	return nil
+}
+
+// counterJSON strips the net/ prefix for compact JSON keys
+// (net/bytes_sent → bytes_sent).
+func counterJSON(counters map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(counters))
+	for k, v := range counters {
+		out[strings.TrimPrefix(k, "net/")] = v
+	}
+	return out
+}

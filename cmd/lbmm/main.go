@@ -39,9 +39,20 @@
 //	lbmm benchpr5 [-n N] [-d D] [-iters K] [-o BENCH_PR5.json]
 //	                        batched vs unbatched throughput at lane counts
 //	                        k ∈ {1, 4, 16} on the compiled engine
+//	lbmm benchpr8 [-n N] [-d D] [-iters K] [-o BENCH_PR8.json]
+//	                        transport-backend benchmark: direct vs loopback
+//	                        vs TCP-localhost mesh wall clock and bytes/round
+//	lbmm worker [-addr :7070] [-q] [-peer-timeout D] [-read-timeout D]
+//	                        distributed-multiply worker process: serves jobs
+//	                        and forms per-job TCP meshes (docs/DIST.md)
+//	lbmm run -workers A1,A2,… [-workload W] [-n N] [-d D] [-alg A] [-ring R] [-seed S] [-o FILE] [-no-verify]
+//	                        coordinate one multiplication across worker
+//	                        processes and verify the merged product against
+//	                        the in-process engine (docs/DIST.md)
 //	lbmm chaos [-cases N] [-seed S] [-verbose]
 //	                        chaos differential harness: randomized fault
-//	                        plans through both engines (docs/CHAOS.md)
+//	                        plans through both engines and all transport
+//	                        backends (docs/CHAOS.md, docs/DIST.md)
 //	lbmm all [-full]        every table/figure in sequence
 package main
 
@@ -90,6 +101,21 @@ func main() {
 		// serve owns its flags too: its -ring is the shard-mode switch, not
 		// a semiring name.
 		if err := serveCommand(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "lbmm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "worker" || cmd == "run" {
+		// The distributed commands own their flags: run's -workers is an
+		// address list (serve's is a pool size) and its -ring a semiring.
+		var err error
+		if cmd == "worker" {
+			err = runWorker(os.Args[2:])
+		} else {
+			err = runDistRun(os.Args[2:])
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "lbmm:", err)
 			os.Exit(1)
 		}
@@ -157,6 +183,8 @@ func main() {
 		err = runBenchPR3(*n, *d, *iters, *outPath)
 	case "benchpr5":
 		err = runBenchPR5(*n, *d, *iters, *outPath)
+	case "benchpr8":
+		err = runBenchPR8(*n, *d, *iters, *outPath)
 	case "chaos":
 		err = runChaos(*cases, *seed, *verbose)
 	case "all":
@@ -186,7 +214,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|fingerprint|plans|benchpr3|benchpr5|chaos|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|worker|run|fingerprint|plans|benchpr3|benchpr5|benchpr8|chaos|all> [flags]`)
 }
 
 func runTable1(scale exper.Scale, profile bool) error {

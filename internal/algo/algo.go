@@ -169,6 +169,9 @@ func TrivialSparse(m *lbm.Machine, l *lbm.Layout, inst *graph.Instance) (*Result
 	}
 	for _, t := range tris {
 		xo := l.OwnerX(t.I, t.K)
+		if !m.Owns(xo) {
+			continue
+		}
 		av := m.MustGet(xo, lbm.AKey(t.I, t.J))
 		bv := m.MustGet(xo, lbm.BKey(t.J, t.K))
 		m.Acc(xo, lbm.XKey(t.I, t.K), m.R.Mul(av, bv))
@@ -265,9 +268,13 @@ func runNaiveVirtual(m *lbm.Machine, l *lbm.Layout, n int, tris []graph.Triangle
 	parts := map[part]bool{}
 	for idx, t := range order {
 		v := vnodeOf[idx]
-		av := m.MustGet(hosts[v], lbm.AKey(t.I, t.J))
-		bv := m.MustGet(hosts[v], lbm.BKey(t.J, t.K))
-		m.Acc(hosts[v], lbm.PKey(t.I, t.K, v), m.R.Mul(av, bv))
+		// parts shapes the output routing plan, so every participant tracks
+		// it; only the host's owner does the arithmetic.
+		if m.Owns(hosts[v]) {
+			av := m.MustGet(hosts[v], lbm.AKey(t.I, t.J))
+			bv := m.MustGet(hosts[v], lbm.BKey(t.J, t.K))
+			m.Acc(hosts[v], lbm.PKey(t.I, t.K, v), m.R.Mul(av, bv))
+		}
 		parts[part{v, t.I, t.K}] = true
 	}
 

@@ -142,6 +142,11 @@ func (p *Prepared) multiplyCompiledBatch(as, bs []*matrix.Sparse, mopts ...lbm.O
 		outs[l] = matrix.NewSparse(p.Inst.Xhat.N, p.R)
 	}
 	for _, lr := range cp.x {
+		if !x.Owns(lr.ref.Node) {
+			// A partitioned run collects each output at the participant that
+			// owns it; the coordinator merges the disjoint partials.
+			continue
+		}
 		if _, ok := x.GetLane(lr.ref, 0); !ok {
 			return nil, nil, fmt.Errorf("lbm: owner of X(%d,%d) never received it", lr.i, lr.j)
 		}

@@ -182,6 +182,11 @@ func (p *Prepared) multiplyCompiled(a, b *matrix.Sparse, mopts ...lbm.Option) (*
 	}
 	out := matrix.NewSparse(p.Inst.Xhat.N, p.R)
 	for _, lr := range cp.x {
+		if !x.Owns(lr.ref.Node) {
+			// A partitioned run collects each output at the participant that
+			// owns it; the coordinator merges the disjoint partials.
+			continue
+		}
 		v, ok := x.GetSlot(lr.ref)
 		if !ok {
 			return nil, nil, fmt.Errorf("lbm: owner of X(%d,%d) never received it", lr.i, lr.j)

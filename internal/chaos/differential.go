@@ -3,8 +3,11 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
+	"sync"
 
 	"lbmm/internal/algo"
+	"lbmm/internal/dist"
 	"lbmm/internal/lbm"
 	"lbmm/internal/matrix"
 	"lbmm/internal/ring"
@@ -47,7 +50,7 @@ func (r *DiffResult) OK() bool { return len(r.Failures) == 0 }
 
 // Summary renders the run one screen high.
 func (r *DiffResult) Summary() string {
-	s := fmt.Sprintf("chaos differential: %d cases — %d clean, %d faulted identically, %d survived injection",
+	s := fmt.Sprintf("chaos differential: %d cases — %d clean, %d faulted identically, %d survived injection (each across direct, loopback and tcp-mesh transports)",
 		r.Cases, r.Clean, r.Faulted, r.Survived)
 	if len(r.FaultsByKind) > 0 {
 		s += "\nfaults by kind:"
@@ -84,6 +87,13 @@ type diffCase struct {
 // identical typed lbm.ErrFault (same kind, same network round, same node)
 // from both. Fault-free replays after a fault check that a detection leaves
 // no state behind (the compiled engine recycles pooled executors).
+//
+// The harness also spans the transport axis: each case re-runs the compiled
+// engine through the loopback seam and across a three-participant localhost
+// TCP mesh (one shared trio of dist.Mesh endpoints, reused for every case —
+// faults strike before any frame leaves a sender, so a detection leaves the
+// sockets clean). Products, merged statistics and typed fault provenance
+// must all be identical to the nil-transport engines.
 func Differential(cfg DiffConfig) *DiffResult {
 	cases := cfg.Cases
 	if cases <= 0 {
@@ -94,6 +104,13 @@ func Differential(cfg DiffConfig) *DiffResult {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	meshes, stop, err := dist.NewLocalMesh(3)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("transport axis: local mesh: %v", err))
+		meshes = nil
+	} else {
+		defer stop()
+	}
 	for c := 0; c < cases; c++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
 		dc, err := drawCase(c, rng)
@@ -102,7 +119,7 @@ func Differential(cfg DiffConfig) *DiffResult {
 			continue
 		}
 		res.Cases++
-		runCase(res, c, dc, logf)
+		runCase(res, c, dc, meshes, logf)
 	}
 	return res
 }
@@ -192,27 +209,79 @@ func drawPlan(rng *rand.Rand, n int) (FaultPlan, bool) {
 	return p, true
 }
 
-// runEngine executes one engine under an optional injector.
-func runEngine(dc *diffCase, e algo.Engine, inj lbm.Injector) (*matrix.Sparse, error) {
+// runEngine executes one engine under an optional injector and transport.
+func runEngine(dc *diffCase, e algo.Engine, inj lbm.Injector, t lbm.Transport) (*matrix.Sparse, lbm.Stats, error) {
 	var mopts []lbm.Option
 	if inj != nil {
 		mopts = append(mopts, lbm.WithInjector(inj))
 	}
-	x, _, err := dc.prep.MultiplyOn(e, dc.a, dc.b, mopts...)
-	return x, err
+	if t != nil {
+		mopts = append(mopts, lbm.WithTransport(t))
+	}
+	x, res, err := dc.prep.MultiplyOn(e, dc.a, dc.b, mopts...)
+	if err != nil {
+		return nil, lbm.Stats{}, err
+	}
+	return x, res.Stats, nil
+}
+
+// runMesh executes the compiled engine on every rank of the TCP trio at
+// once (the injector is a read-only hash, safe to share). It returns either
+// the merged product and merged statistics, or — when every rank detected
+// the identical typed fault — that fault. Divergent verdicts across ranks
+// are a differential violation and come back as an untyped error.
+func runMesh(dc *diffCase, meshes []*dist.Mesh, inj lbm.Injector) (*matrix.Sparse, lbm.Stats, error) {
+	n := len(meshes)
+	outs := make([]*matrix.Sparse, n)
+	stats := make([]lbm.Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for rk := range meshes {
+		wg.Add(1)
+		go func(rk int) {
+			defer wg.Done()
+			outs[rk], stats[rk], errs[rk] = runEngine(dc, algo.EngineCompiled, inj, meshes[rk])
+		}(rk)
+	}
+	wg.Wait()
+
+	if errs[0] != nil {
+		f0, ok := lbm.AsFault(errs[0])
+		for rk := 1; rk < n; rk++ {
+			f, okk := lbm.AsFault(errs[rk])
+			if !ok || !okk || *f != *f0 {
+				return nil, lbm.Stats{}, fmt.Errorf("mesh ranks diverged: rank 0 %v, rank %d %v", errs[0], rk, errs[rk])
+			}
+		}
+		return nil, lbm.Stats{}, errs[0]
+	}
+	for rk := 1; rk < n; rk++ {
+		if errs[rk] != nil {
+			return nil, lbm.Stats{}, fmt.Errorf("mesh ranks diverged: rank 0 clean, rank %d %v", rk, errs[rk])
+		}
+	}
+	merged := matrix.NewSparse(dc.a.N, dc.a.R)
+	for _, x := range outs {
+		for i, row := range x.Rows {
+			for _, c := range row {
+				merged.Set(i, int(c.Col), c.Val)
+			}
+		}
+	}
+	return merged, lbm.MergeStats(stats...), nil
 }
 
 // runCase executes the differential protocol for one case, appending any
 // violation to res.Failures.
-func runCase(res *DiffResult, c int, dc *diffCase, logf func(string, ...any)) {
+func runCase(res *DiffResult, c int, dc *diffCase, meshes []*dist.Mesh, logf func(string, ...any)) {
 	fail := func(format string, args ...any) {
 		res.Failures = append(res.Failures, fmt.Sprintf("case %d (%s): %s", c, dc.label, fmt.Sprintf(format, args...)))
 	}
 
 	// Phase 1: fault-free differential (also the reference for replays).
 	want := matrix.MulReference(dc.a, dc.b, dc.prep.Inst.Xhat)
-	xMap, errMap := runEngine(dc, algo.EngineMap, nil)
-	xComp, errComp := runEngine(dc, algo.EngineCompiled, nil)
+	xMap, _, errMap := runEngine(dc, algo.EngineMap, nil, nil)
+	xComp, stComp, errComp := runEngine(dc, algo.EngineCompiled, nil, nil)
 	if errMap != nil || errComp != nil {
 		fail("fault-free run errored: map=%v compiled=%v", errMap, errComp)
 		return
@@ -227,11 +296,44 @@ func runCase(res *DiffResult, c int, dc *diffCase, logf func(string, ...any)) {
 	}
 	res.Clean++
 
+	// Phase 1b: the transport axis, fault-free. Loopback must be
+	// bit-identical to the nil-transport engine — product and Stats both —
+	// and a partitioned TCP mesh run must merge back to the same product
+	// and the same Stats.
+	xLoop, stLoop, errLoop := runEngine(dc, algo.EngineCompiled, nil, &lbm.Loopback{})
+	if errLoop != nil {
+		fail("loopback run errored: %v", errLoop)
+		return
+	}
+	if !matrix.Equal(xLoop, want) {
+		fail("loopback product differs from the sequential reference")
+		return
+	}
+	if !reflect.DeepEqual(stLoop, stComp) {
+		fail("loopback stats differ from the nil-transport stats: %+v vs %+v", stLoop, stComp)
+		return
+	}
+	if meshes != nil {
+		xTCP, stTCP, errTCP := runMesh(dc, meshes, nil)
+		if errTCP != nil {
+			fail("tcp mesh run errored: %v", errTCP)
+			return
+		}
+		if !matrix.Equal(xTCP, want) {
+			fail("tcp mesh product differs from the sequential reference")
+			return
+		}
+		if !reflect.DeepEqual(stTCP, stComp) {
+			fail("merged tcp stats differ from the nil-transport stats: %+v vs %+v", stTCP, stComp)
+			return
+		}
+	}
+
 	if !dc.armed && dc.plan.Quiet() {
 		// Quiet plans still exercise the injector seam: verdicts must all be
 		// clean and the products unchanged.
 		inj := dc.plan.MustInjector()
-		if x, err := runEngine(dc, algo.EngineCompiled, inj); err != nil || !matrix.Equal(x, want) {
+		if x, _, err := runEngine(dc, algo.EngineCompiled, inj, nil); err != nil || !matrix.Equal(x, want) {
 			fail("quiet injector perturbed the compiled engine: err=%v", err)
 		}
 		return
@@ -239,8 +341,8 @@ func runCase(res *DiffResult, c int, dc *diffCase, logf func(string, ...any)) {
 
 	// Phase 2: the armed differential under one shared injector.
 	inj := dc.plan.MustInjector()
-	xMapF, errMapF := runEngine(dc, algo.EngineMap, inj)
-	xCompF, errCompF := runEngine(dc, algo.EngineCompiled, inj)
+	xMapF, _, errMapF := runEngine(dc, algo.EngineMap, inj, nil)
+	xCompF, _, errCompF := runEngine(dc, algo.EngineCompiled, inj, nil)
 	switch {
 	case errMapF == nil && errCompF == nil:
 		if !matrix.Equal(xMapF, want) || !matrix.Equal(xCompF, want) {
@@ -267,10 +369,35 @@ func runCase(res *DiffResult, c int, dc *diffCase, logf func(string, ...any)) {
 		return
 	}
 
+	// Phase 2b: the armed transport axis under the same plan. The loopback
+	// run and every rank of the mesh must reach the identical verdict —
+	// the same typed fault as the nil-transport engines, or a survival
+	// with the reference product.
+	xLoopF, _, errLoopF := runEngine(dc, algo.EngineCompiled, inj, &lbm.Loopback{})
+	if !sameVerdict(errCompF, errLoopF) {
+		fail("loopback verdict differs under injection: plain=%v loopback=%v", errCompF, errLoopF)
+		return
+	}
+	if errLoopF == nil && !matrix.Equal(xLoopF, want) {
+		fail("loopback survived injection but the product changed")
+		return
+	}
+	if meshes != nil {
+		xTCPF, _, errTCPF := runMesh(dc, meshes, inj)
+		if !sameVerdict(errCompF, errTCPF) {
+			fail("tcp mesh verdict differs under injection: plain=%v tcp=%v", errCompF, errTCPF)
+			return
+		}
+		if errTCPF == nil && !matrix.Equal(xTCPF, want) {
+			fail("tcp mesh survived injection but the product changed")
+			return
+		}
+	}
+
 	// Phase 3: fault-free replay — a detection must leave no residue (the
 	// compiled engine recycles pooled executors across calls).
-	xMapR, errMapR := runEngine(dc, algo.EngineMap, nil)
-	xCompR, errCompR := runEngine(dc, algo.EngineCompiled, nil)
+	xMapR, _, errMapR := runEngine(dc, algo.EngineMap, nil, nil)
+	xCompR, _, errCompR := runEngine(dc, algo.EngineCompiled, nil, nil)
 	if errMapR != nil || errCompR != nil {
 		fail("fault-free replay errored: map=%v compiled=%v", errMapR, errCompR)
 		return
@@ -278,4 +405,15 @@ func runCase(res *DiffResult, c int, dc *diffCase, logf func(string, ...any)) {
 	if !matrix.Equal(xMapR, want) || !matrix.Equal(xCompR, want) {
 		fail("fault-free replay product differs after an injected run")
 	}
+}
+
+// sameVerdict reports whether two runs agreed on the fault outcome: both
+// clean, or both the identical typed fault.
+func sameVerdict(a, b error) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	fa, oka := lbm.AsFault(a)
+	fb, okb := lbm.AsFault(b)
+	return oka && okb && *fa == *fb
 }

@@ -122,6 +122,11 @@ type ExecOpts struct {
 	// Injector subjects the execution to deterministic fault injection
 	// (chaos testing, docs/CHAOS.md); nil runs a perfect network.
 	Injector lbm.Injector
+	// Transport routes every real message of the execution through an
+	// explicit communication backend (docs/DIST.md): lbm.Loopback for the
+	// in-process seam, a dist.Mesh endpoint for real sockets. nil keeps the
+	// original single-process fast path.
+	Transport lbm.Transport
 }
 
 // MultiplyOpts executes the prepared plans on one value set with per-call
@@ -133,6 +138,9 @@ func (p *Prepared) MultiplyOpts(a, b *matrix.Sparse, opts ExecOpts) (*matrix.Spa
 	}
 	if opts.Injector != nil {
 		mopts = append(mopts, lbm.WithInjector(opts.Injector))
+	}
+	if opts.Transport != nil {
+		mopts = append(mopts, lbm.WithTransport(opts.Transport))
 	}
 	var (
 		x   *matrix.Sparse
@@ -167,6 +175,9 @@ func (p *Prepared) MultiplyBatch(as, bs []*matrix.Sparse, opts ExecOpts) ([]*mat
 	}
 	if opts.Injector != nil {
 		mopts = append(mopts, lbm.WithInjector(opts.Injector))
+	}
+	if opts.Transport != nil {
+		mopts = append(mopts, lbm.WithTransport(opts.Transport))
 	}
 	var (
 		outs []*matrix.Sparse

@@ -318,6 +318,9 @@ func RunCubeJobsWith(m *lbm.Machine, jobs []*CubeJob, prog *CubeProgram) error {
 	}
 	for _, j := range jobs {
 		for _, p := range j.prods {
+			if !m.Owns(p.host) {
+				continue
+			}
 			av := m.MustGet(p.host, p.a)
 			bv := m.MustGet(p.host, p.b)
 			m.Acc(p.host, p.ds, m.R.Mul(av, bv))
@@ -403,6 +406,9 @@ func (ccp *CompiledCubeProgram) Run(x *lbm.Exec) error {
 	}
 	if K := x.Lanes(); K == 1 {
 		for _, p := range ccp.prods {
+			if !x.Owns(p.a.Node) {
+				continue
+			}
 			av := x.MustGetSlot(p.a)
 			bv := x.MustGetSlot(p.b)
 			x.AccSlot(p.dst, x.R.Mul(av, bv))
@@ -410,6 +416,9 @@ func (ccp *CompiledCubeProgram) Run(x *lbm.Exec) error {
 	} else {
 		buf := make([]ring.Value, K)
 		for _, p := range ccp.prods {
+			if !x.Owns(p.a.Node) {
+				continue
+			}
 			as := x.MustLanes(p.a)
 			bs := x.MustLanes(p.b)
 			for l := 0; l < K; l++ {

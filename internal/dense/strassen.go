@@ -599,6 +599,9 @@ func RunStrassenJobsWith(m *lbm.Machine, jobs []*StrassenJob, prog *StrassenProg
 	for _, j := range jobs {
 		m.Counter("leaf_products", float64(len(j.leafs)))
 		for _, lt := range j.leafs {
+			if !m.Owns(lt.host) {
+				continue
+			}
 			runLeaf(m, f, lt)
 		}
 	}
@@ -753,6 +756,9 @@ func (csp *CompiledStrassenProgram) Run(x *lbm.Exec) error {
 	for _, leafs := range csp.leafJobs {
 		x.Counter("leaf_products", float64(len(leafs)))
 		for _, cl := range leafs {
+			if !x.Owns(cl.host) {
+				continue
+			}
 			runCompiledLeaf(x, f, cl)
 		}
 	}

@@ -37,28 +37,31 @@ func TrivialGather(m *lbm.Machine, l *lbm.Layout, inst *graph.Instance) error {
 		}
 	}
 
-	// Phase 2: computer 0 multiplies locally (free).
-	r := m.R
-	for i, arow := range inst.Ahat.Rows {
-		xrow := inst.Xhat.Rows[i]
-		if len(xrow) == 0 {
-			continue
-		}
-		acc := make(map[int32]ring.Value, len(xrow))
-		for _, k := range xrow {
-			acc[k] = r.Zero()
-		}
-		for _, j := range arow {
-			av := m.MustGet(sink, lbm.AKey(int32(i), j))
-			for _, k := range inst.Bhat.Rows[j] {
-				if cur, wanted := acc[k]; wanted {
-					bv := m.MustGet(sink, lbm.BKey(int32(j), k))
-					acc[k] = r.Add(cur, r.Mul(av, bv))
+	// Phase 2: computer 0 multiplies locally (free). On a partitioned
+	// machine only the participant hosting the sink computes.
+	if m.Owns(sink) {
+		r := m.R
+		for i, arow := range inst.Ahat.Rows {
+			xrow := inst.Xhat.Rows[i]
+			if len(xrow) == 0 {
+				continue
+			}
+			acc := make(map[int32]ring.Value, len(xrow))
+			for _, k := range xrow {
+				acc[k] = r.Zero()
+			}
+			for _, j := range arow {
+				av := m.MustGet(sink, lbm.AKey(int32(i), j))
+				for _, k := range inst.Bhat.Rows[j] {
+					if cur, wanted := acc[k]; wanted {
+						bv := m.MustGet(sink, lbm.BKey(int32(j), k))
+						acc[k] = r.Add(cur, r.Mul(av, bv))
+					}
 				}
 			}
-		}
-		for _, k := range xrow {
-			m.Put(sink, lbm.XKey(int32(i), k), acc[k])
+			for _, k := range xrow {
+				m.Put(sink, lbm.XKey(int32(i), k), acc[k])
+			}
 		}
 	}
 

@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"lbmm/internal/core"
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+)
+
+// RunConfig describes one coordinated distributed multiplication.
+type RunConfig struct {
+	// Workers are the worker addresses; worker i runs rank i. At least 2.
+	Workers []string
+	// Prep is the prepared multiplication to distribute (compiled engine —
+	// the envelope only carries the compiled form).
+	Prep *core.Prepared
+	// A, B are the value sets; N their dimension; Ring the semiring name
+	// the workers resolve (matrix.RingByName).
+	A, B *matrix.Sparse
+	N    int
+	Ring string
+	// Job names the run on the wire; "" draws a random ID.
+	Job string
+	// DialTimeout bounds the per-worker dial retry window (0 means 15s);
+	// ResultTimeout the wait for each worker's result frame (0 means 120s).
+	DialTimeout   time.Duration
+	ResultTimeout time.Duration
+}
+
+// RunResult is the merged outcome of a distributed multiplication.
+type RunResult struct {
+	// X is the full product, merged from the disjoint per-rank partials.
+	X *matrix.Sparse
+	// Stats is the whole-run view (lbm.MergeStats over the partitions);
+	// PerRank keeps each worker's own partition.
+	Stats   lbm.Stats
+	PerRank []lbm.Stats
+	// Counters sums every worker's transport counters (net/bytes_sent,
+	// net/round_ns, net/flushes).
+	Counters map[string]int64
+}
+
+// Run coordinates one distributed multiplication: it ships the prepared
+// plan and the values to every worker, waits for all partial results, and
+// merges them. A typed fault detected by the workers comes back as the
+// *lbm.ErrFault itself (all ranks must agree on it — the walk is
+// deterministic and faults strike before any frame leaves a sender).
+func Run(cfg RunConfig) (*RunResult, error) {
+	if len(cfg.Workers) < 2 {
+		return nil, fmt.Errorf("dist: a distributed run needs at least 2 workers, got %d", len(cfg.Workers))
+	}
+	if cfg.Prep == nil || cfg.A == nil || cfg.B == nil {
+		return nil, fmt.Errorf("dist: run needs a prepared plan and both value sets")
+	}
+	r, err := matrix.RingByName(cfg.Ring)
+	if err != nil {
+		return nil, err
+	}
+	job := cfg.Job
+	if job == "" {
+		var raw [8]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			return nil, err
+		}
+		job = hex.EncodeToString(raw[:])
+	}
+	dialTO := cfg.DialTimeout
+	if dialTO <= 0 {
+		dialTO = 15 * time.Second
+	}
+	resultTO := cfg.ResultTimeout
+	if resultTO <= 0 {
+		resultTO = 120 * time.Second
+	}
+
+	var plan bytes.Buffer
+	if err := cfg.Prep.Encode(&plan); err != nil {
+		return nil, err
+	}
+	aVals, bVals := entriesOf(cfg.A), entriesOf(cfg.B)
+
+	workers := len(cfg.Workers)
+	results := make([]*resultFrame, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for rk, addr := range cfg.Workers {
+		wg.Add(1)
+		go func(rk int, addr string) {
+			defer wg.Done()
+			results[rk], errs[rk] = runRank(cfg, job, rk, addr, plan.Bytes(), aVals, bVals, dialTO, resultTO)
+		}(rk, addr)
+	}
+	wg.Wait()
+	for rk, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dist: rank %d (%s): %w", rk, cfg.Workers[rk], err)
+		}
+	}
+
+	// Every rank walks the identical plan, so fault detection is all-or-none
+	// and the provenance must agree rank for rank.
+	var fault *lbm.ErrFault
+	for rk, rf := range results {
+		switch {
+		case rf.Err != "":
+			return nil, fmt.Errorf("dist: rank %d failed: %s", rk, rf.Err)
+		case rf.Fault != nil && fault == nil:
+			fault = rf.Fault
+		case rf.Fault != nil && *rf.Fault != *fault:
+			return nil, fmt.Errorf("dist: ranks disagree on the detected fault: %+v vs %+v", fault, rf.Fault)
+		case rf.Fault == nil && fault != nil:
+			return nil, fmt.Errorf("dist: rank %d saw no fault while others detected %+v", rk, fault)
+		}
+	}
+	if fault != nil {
+		// Verify the trailing ranks agreed too (the loop above only checks
+		// ranks after the first detection); then surface the typed fault.
+		for rk, rf := range results {
+			if rf.Fault == nil {
+				return nil, fmt.Errorf("dist: rank %d saw no fault while others detected %+v", rk, fault)
+			}
+		}
+		return nil, fault
+	}
+
+	out := &RunResult{
+		X:        matrix.NewSparse(cfg.N, r),
+		PerRank:  make([]lbm.Stats, workers),
+		Counters: make(map[string]int64),
+	}
+	for rk, rf := range results {
+		for _, e := range rf.X {
+			out.X.Set(int(e.I), int(e.J), e.V)
+		}
+		out.PerRank[rk] = rf.Stats
+		for k, v := range rf.Counters {
+			out.Counters[k] += v
+		}
+	}
+	out.Stats = lbm.MergeStats(out.PerRank...)
+	return out, nil
+}
+
+// runRank ships the job to one worker and reads back its partial result.
+func runRank(cfg RunConfig, job string, rk int, addr string, plan []byte, aVals, bVals []wireVal, dialTO, resultTO time.Duration) (*resultFrame, error) {
+	conn, err := dialRetry(addr, dialTO)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, &helloFrame{Kind: "job", Job: job}); err != nil {
+		return nil, err
+	}
+	jf := jobFrame{
+		Job:      job,
+		Rank:     rk,
+		Workers:  len(cfg.Workers),
+		Peers:    cfg.Workers,
+		Ring:     cfg.Ring,
+		N:        cfg.N,
+		Prepared: plan,
+		A:        aVals,
+		B:        bVals,
+	}
+	if err := writeFrame(conn, &jf); err != nil {
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(resultTO))
+	var rf resultFrame
+	if err := readFrame(conn, &rf); err != nil {
+		return nil, fmt.Errorf("waiting for result: %w", err)
+	}
+	if rf.Job != job || rf.Rank != rk {
+		return nil, fmt.Errorf("mismatched result frame: job %s rank %d", rf.Job, rf.Rank)
+	}
+	return &rf, nil
+}

@@ -1,0 +1,128 @@
+// Package dist executes compiled plans over real sockets: a mesh of worker
+// processes, each owning the stores of the nodes hashed to its rank, walks
+// one shared plan in lockstep and exchanges every round's real messages as
+// gob-framed TCP batches (docs/DIST.md). The package provides the Mesh
+// transport (the lbm.Transport backend), the worker process loop, and the
+// coordinator that partitions a job across workers and merges the partial
+// results.
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"lbmm/internal/lbm"
+)
+
+// maxFrameBytes bounds a single frame. A round frame carries at most one
+// payload per plan node; anything larger than this is a corrupt or hostile
+// length prefix, not a real message batch.
+const maxFrameBytes = 64 << 20
+
+// Every connection in the protocol speaks length-prefixed gob frames: a
+// 4-byte big-endian payload length followed by one gob-encoded value,
+// encoded with a fresh encoder per frame so a frame is self-contained and a
+// reader never depends on stream history (see docs/DIST.md for the wire
+// layout).
+
+// writeFrame writes one frame to w. It does not flush: per-peer bufio
+// writers batch a round's frame with its length prefix into one syscall.
+func writeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("dist: encode frame: %w", err)
+	}
+	if buf.Len() > maxFrameBytes {
+		return fmt.Errorf("dist: frame of %d bytes exceeds the %d-byte limit", buf.Len(), maxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFrame reads one frame from r into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return fmt.Errorf("dist: frame length %d exceeds the %d-byte limit", n, maxFrameBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(v); err != nil {
+		return fmt.Errorf("dist: decode frame: %w", err)
+	}
+	return nil
+}
+
+// helloFrame is the first frame on every inbound worker connection; Kind
+// routes the connection to the job handler ("job", from a coordinator) or
+// parks it for a running job's mesh ("peer", from a fellow worker).
+type helloFrame struct {
+	Kind string
+	Job  string
+	Rank int
+}
+
+// wireVal is one sparse-matrix entry on the wire (values are ring.Value =
+// float64 for every built-in ring).
+type wireVal struct {
+	I, J int32
+	V    float64
+}
+
+// wireMsg is one real message of a round: the destination node and one
+// payload value per lane.
+type wireMsg struct {
+	Dst  int32
+	Vals []float64
+}
+
+// roundFrame is one participant's message batch for one network round —
+// every real message it owns whose destination lives on the receiving peer.
+// An empty Msgs slice is the barrier ack: peers with nothing to say this
+// round still send the frame so everyone advances together.
+type roundFrame struct {
+	Round int32
+	Msgs  []wireMsg
+}
+
+// jobFrame assigns one worker its rank in a distributed multiplication. The
+// plan ships as a core.Prepared envelope; values ship as entry lists. Peers
+// holds every worker's dialable address, indexed by rank.
+type jobFrame struct {
+	Job      string
+	Rank     int
+	Workers  int
+	Peers    []string
+	Ring     string
+	N        int
+	Prepared []byte
+	A, B     []wireVal
+}
+
+// resultFrame is a worker's reply to its jobFrame: the output entries its
+// rank owns, its partition of the run statistics, and its transport
+// counters. A typed fault travels as Fault (provenance intact for the
+// chaos differential); any other failure as Err.
+type resultFrame struct {
+	Job      string
+	Rank     int
+	X        []wireVal
+	Stats    lbm.Stats
+	Counters map[string]int64
+	Fault    *lbm.ErrFault
+	Err      string
+}

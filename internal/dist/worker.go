@@ -1,0 +1,281 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lbmm/internal/core"
+	"lbmm/internal/lbm"
+	"lbmm/internal/matrix"
+	"lbmm/internal/obsv"
+	"lbmm/internal/ring"
+)
+
+// WorkerOptions tune one worker process.
+type WorkerOptions struct {
+	// Log receives one line per connection event and job; nil is silent.
+	Log func(format string, args ...any)
+	// PeerTimeout bounds how long a job waits for its mesh to form: dialing
+	// lower ranks (with retry — peers may still be starting) and claiming
+	// inbound connections from higher ranks. 0 means 30s.
+	PeerTimeout time.Duration
+	// ReadTimeout is the mesh's per-round barrier deadline. 0 means the
+	// Mesh default (60s).
+	ReadTimeout time.Duration
+}
+
+func (o WorkerOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+func (o WorkerOptions) peerTimeout() time.Duration {
+	if o.PeerTimeout > 0 {
+		return o.PeerTimeout
+	}
+	return 30 * time.Second
+}
+
+// worker is the per-process state shared by all connections: peer
+// connections that arrived before their job claims them, parked by
+// (job, rank).
+type worker struct {
+	opts   WorkerOptions
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parked map[string]map[int]net.Conn
+}
+
+// ListenAndServe runs a worker on addr until the listener fails. The worker
+// serves any number of jobs, sequentially or concurrently; each job forms
+// its own mesh.
+func ListenAndServe(addr string, opts WorkerOptions) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	opts.logf("worker listening on %s", l.Addr())
+	return Serve(l, opts)
+}
+
+// Serve runs a worker on an existing listener (tests use in-process
+// listeners on port 0).
+func Serve(l net.Listener, opts WorkerOptions) error {
+	w := &worker{opts: opts, parked: make(map[string]map[int]net.Conn)}
+	w.cond = sync.NewCond(&w.mu)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go w.handle(conn)
+	}
+}
+
+// handle routes one inbound connection by its hello frame: coordinator
+// connections run a job, peer connections park until that job's mesh
+// formation claims them.
+func (w *worker) handle(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var h helloFrame
+	if err := readFrame(conn, &h); err != nil {
+		w.opts.logf("rejecting connection from %s: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch h.Kind {
+	case "peer":
+		w.park(h.Job, h.Rank, conn)
+	case "job":
+		defer conn.Close()
+		if err := w.runJob(conn); err != nil {
+			w.opts.logf("job failed: %v", err)
+		}
+	default:
+		w.opts.logf("rejecting connection from %s: unknown hello kind %q", conn.RemoteAddr(), h.Kind)
+		conn.Close()
+	}
+}
+
+// park stores an inbound peer connection for its job to claim.
+func (w *worker) park(job string, rank int, conn net.Conn) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.parked[job] == nil {
+		w.parked[job] = make(map[int]net.Conn)
+	}
+	if old := w.parked[job][rank]; old != nil {
+		old.Close()
+	}
+	w.parked[job][rank] = conn
+	w.cond.Broadcast()
+}
+
+// claim waits for the parked peer connection of (job, rank).
+func (w *worker) claim(job string, rank int, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	wake := time.AfterFunc(timeout, func() { w.cond.Broadcast() })
+	defer wake.Stop()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if m := w.parked[job]; m != nil {
+			if c := m[rank]; c != nil {
+				delete(m, rank)
+				return c, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: no peer connection from rank %d for job %s within %s", rank, job, timeout)
+		}
+		w.cond.Wait()
+	}
+}
+
+// runJob executes one distributed multiplication: decode the job, form the
+// mesh (dial lower ranks, claim higher ranks), run the prepared plan with
+// the mesh transport, and reply with this rank's partial result.
+func (w *worker) runJob(conn net.Conn) error {
+	var jf jobFrame
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	if err := readFrame(conn, &jf); err != nil {
+		return fmt.Errorf("reading job frame: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	w.opts.logf("job %s: rank %d of %d, n=%d, ring %s", jf.Job, jf.Rank, jf.Workers, jf.N, jf.Ring)
+
+	rf := resultFrame{Job: jf.Job, Rank: jf.Rank}
+	counters := obsv.NewCounterSet()
+	x, stats, err := w.execute(&jf, counters)
+	switch {
+	case err == nil:
+		rf.X = entriesOf(x)
+		rf.Stats = stats
+		rf.Counters = counters.Snapshot()
+	default:
+		if f, ok := lbm.AsFault(err); ok {
+			rf.Fault = f
+		} else {
+			rf.Err = err.Error()
+		}
+		rf.Counters = counters.Snapshot()
+	}
+	if err := writeFrame(conn, &rf); err != nil {
+		return fmt.Errorf("job %s: writing result: %w", jf.Job, err)
+	}
+	return nil
+}
+
+// execute runs the rank's share of the job and returns its partial output.
+func (w *worker) execute(jf *jobFrame, counters *obsv.CounterSet) (*matrix.Sparse, lbm.Stats, error) {
+	var stats lbm.Stats
+	if jf.Workers < 1 || jf.Rank < 0 || jf.Rank >= jf.Workers || len(jf.Peers) != jf.Workers {
+		return nil, stats, fmt.Errorf("dist: malformed job: rank %d of %d with %d peers", jf.Rank, jf.Workers, len(jf.Peers))
+	}
+	prep, err := core.DecodePrepared(bytes.NewReader(jf.Prepared))
+	if err != nil {
+		return nil, stats, fmt.Errorf("dist: job plan: %w", err)
+	}
+	r, err := matrix.RingByName(jf.Ring)
+	if err != nil {
+		return nil, stats, err
+	}
+	a := sparseFrom(jf.N, r, jf.A)
+	b := sparseFrom(jf.N, r, jf.B)
+
+	conns, err := w.meshConns(jf)
+	if err != nil {
+		closeConns(conns)
+		return nil, stats, err
+	}
+	mesh, err := NewMesh(Partition{Workers: jf.Workers, Rank: jf.Rank}, conns, counters)
+	if err != nil {
+		closeConns(conns)
+		return nil, stats, err
+	}
+	defer mesh.Close()
+	if w.opts.ReadTimeout > 0 {
+		mesh.ReadTimeout = w.opts.ReadTimeout
+	}
+	x, rep, err := prep.MultiplyOpts(a, b, core.ExecOpts{Transport: mesh})
+	if err != nil {
+		return nil, stats, err
+	}
+	return x, rep.Stats, nil
+}
+
+// meshConns forms this rank's side of the mesh: dial every lower rank (with
+// retry — the peer worker only has to be listening, not yet working on the
+// job) and claim the inbound connection of every higher rank.
+func (w *worker) meshConns(jf *jobFrame) ([]net.Conn, error) {
+	timeout := w.opts.peerTimeout()
+	conns := make([]net.Conn, jf.Workers)
+	for j := 0; j < jf.Rank; j++ {
+		c, err := dialRetry(jf.Peers[j], timeout)
+		if err != nil {
+			return conns, fmt.Errorf("dist: rank %d dialing rank %d: %w", jf.Rank, j, err)
+		}
+		if err := writeFrame(c, &helloFrame{Kind: "peer", Job: jf.Job, Rank: jf.Rank}); err != nil {
+			c.Close()
+			return conns, fmt.Errorf("dist: rank %d greeting rank %d: %w", jf.Rank, j, err)
+		}
+		conns[j] = c
+	}
+	for j := jf.Rank + 1; j < jf.Workers; j++ {
+		c, err := w.claim(jf.Job, j, timeout)
+		if err != nil {
+			return conns, err
+		}
+		conns[j] = c
+	}
+	return conns, nil
+}
+
+func closeConns(conns []net.Conn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// dialRetry dials addr until it answers or the timeout elapses — worker
+// processes of one job may start in any order.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// entriesOf flattens a sparse matrix into wire entries.
+func entriesOf(m *matrix.Sparse) []wireVal {
+	out := make([]wireVal, 0, m.NNZ())
+	for i, row := range m.Rows {
+		for _, c := range row {
+			out = append(out, wireVal{I: int32(i), J: c.Col, V: c.Val})
+		}
+	}
+	return out
+}
+
+// sparseFrom rebuilds a sparse matrix from wire entries.
+func sparseFrom(n int, r ring.Semiring, vals []wireVal) *matrix.Sparse {
+	m := matrix.NewSparse(n, r)
+	for _, e := range vals {
+		m.Set(int(e.I), int(e.J), e.V)
+	}
+	return m
+}

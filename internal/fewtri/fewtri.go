@@ -384,6 +384,9 @@ func Run(m *lbm.Machine, job *Job) error {
 	}
 	m.BeginPhase("products")
 	for _, pg := range job.products {
+		if !m.Owns(pg.host) {
+			continue
+		}
 		m.Counter("triangles", float64(len(pg.tris)))
 		for _, t := range pg.tris {
 			av := m.MustGet(pg.host, lbm.AKey(t.I, t.J))
@@ -512,6 +515,9 @@ func RunCompiled(x *lbm.Exec, cj *CompiledJob) error {
 	x.BeginPhase("products")
 	if K := x.Lanes(); K == 1 {
 		for _, prods := range cj.prods {
+			if len(prods) > 0 && !x.Owns(prods[0].a.Node) {
+				continue // whole group lives at one host
+			}
 			x.Counter("triangles", float64(len(prods)))
 			for _, p := range prods {
 				av := x.MustGetSlot(p.a)
@@ -522,6 +528,9 @@ func RunCompiled(x *lbm.Exec, cj *CompiledJob) error {
 	} else {
 		buf := make([]ring.Value, K)
 		for _, prods := range cj.prods {
+			if len(prods) > 0 && !x.Owns(prods[0].a.Node) {
+				continue // whole group lives at one host
+			}
 			x.Counter("triangles", float64(len(prods)))
 			for _, p := range prods {
 				as := x.MustLanes(p.a)

@@ -44,6 +44,9 @@ type Exec struct {
 	// injector and netRound mirror Machine's fault-injection seam (fault.go).
 	injector Injector
 	netRound int
+	// transport mirrors Machine's communication seam (transport.go); nil is
+	// the original single-process fast path.
+	transport Transport
 
 	lanes int            // values per slot (≥1); see NewExecBatch
 	arena [][]ring.Value // lane-strided: slot s lane l at s*lanes+l
@@ -83,6 +86,7 @@ func NewExecBatch(sizes []int32, lanes int, r ring.Semiring, opts ...Option) *Ex
 		StoreLimit: probe.StoreLimit,
 		collector:  probe.collector,
 		injector:   probe.injector,
+		transport:  probe.transport,
 		lanes:      lanes,
 		arena:      make([][]ring.Value, len(sizes)),
 		stamp:      make([][]uint32, len(sizes)),
@@ -118,6 +122,7 @@ func (x *Exec) Configure(opts ...Option) {
 	x.StoreLimit = probe.StoreLimit
 	x.collector = probe.collector
 	x.injector = probe.injector
+	x.transport = probe.transport
 }
 
 // SetCollector attaches (or, with nil, detaches) a collector.
@@ -182,6 +187,7 @@ func (x *Exec) Stats() Stats {
 	s := x.stats
 	s.SendLoad = append([]int64(nil), x.stats.SendLoad...)
 	s.RecvLoad = append([]int64(nil), x.stats.RecvLoad...)
+	s.RoundBytes = append([]int64(nil), x.stats.RoundBytes...)
 	return s
 }
 
@@ -238,8 +244,12 @@ func (x *Exec) PutSlot(r SlotRef, v ring.Value) { x.PutLane(r, 0, v) }
 
 // PutLane stores one lane of a slot. Loading a multi-lane executor must put
 // every lane of a slot: presence is per-slot, so a partially loaded slot
-// would expose stale values on its unwritten lanes.
+// would expose stale values on its unwritten lanes. Under a transport,
+// writes to non-owned stores are dropped (see Machine.Put).
 func (x *Exec) PutLane(r SlotRef, lane int, v ring.Value) {
+	if x.transport != nil && !x.transport.Owns(r.Node) {
+		return
+	}
 	x.arena[r.Node][int(r.Slot)*x.lanes+lane] = v
 	x.markPresent(int32(r.Node), r.Slot)
 }
@@ -247,6 +257,9 @@ func (x *Exec) PutLane(r SlotRef, lane int, v ring.Value) {
 // PutLanes stores every lane of a slot at once (len(vs) = Lanes), with one
 // presence update — the bulk form of PutLane for batched loading.
 func (x *Exec) PutLanes(r SlotRef, vs []ring.Value) {
+	if x.transport != nil && !x.transport.Owns(r.Node) {
+		return
+	}
 	i := int(r.Slot) * x.lanes
 	copy(x.arena[r.Node][i:i+x.lanes], vs)
 	x.markPresent(int32(r.Node), r.Slot)
@@ -257,6 +270,9 @@ func (x *Exec) PutLanes(r SlotRef, vs []ring.Value) {
 // per-slot, so accumulating lane by lane into an absent slot would mark it
 // present after the first lane and read stale values on the rest.
 func (x *Exec) AccSlot(r SlotRef, v ring.Value) {
+	if x.transport != nil && !x.transport.Owns(r.Node) {
+		return
+	}
 	cur := x.R.Zero()
 	i := int(r.Slot) * x.lanes
 	if x.present(int32(r.Node), r.Slot) {
@@ -281,6 +297,9 @@ func (x *Exec) MustLanes(r SlotRef) []ring.Value {
 // slot's presence resolved once before any lane is touched (an absent slot
 // reads as the ring Zero on every lane).
 func (x *Exec) AccLanes(r SlotRef, vs []ring.Value) {
+	if x.transport != nil && !x.transport.Owns(r.Node) {
+		return
+	}
 	i := int(r.Slot) * x.lanes
 	dst := x.arena[r.Node][i : i+x.lanes]
 	if x.present(int32(r.Node), r.Slot) {
@@ -322,13 +341,14 @@ func (x *Exec) Reset() {
 	for i := range x.live {
 		x.live[i] = 0
 	}
-	x.stats = Stats{SendLoad: x.stats.SendLoad, RecvLoad: x.stats.RecvLoad}
+	x.stats = Stats{SendLoad: x.stats.SendLoad, RecvLoad: x.stats.RecvLoad, RoundBytes: x.stats.RoundBytes[:0]}
 	for i := range x.stats.SendLoad {
 		x.stats.SendLoad[i] = 0
 		x.stats.RecvLoad[i] = 0
 	}
 	x.collector = nil
 	x.injector = nil
+	x.transport = nil
 	x.netRound = 0
 }
 
@@ -359,6 +379,9 @@ func (x *Exec) Run(cp *CompiledPlan) error {
 // state, StoreLimit pre-check, deliver, then stats. Constraint checking
 // happened once at compile time.
 func (x *Exec) runRound(cp *CompiledPlan, t int) error {
+	if x.transport != nil {
+		return x.runRoundVia(cp, t)
+	}
 	lo, hi := int(cp.RoundOff[t]), int(cp.RoundOff[t+1])
 	if hi == lo {
 		return nil
@@ -387,6 +410,7 @@ func (x *Exec) runRound(cp *CompiledPlan, t int) error {
 	if real > 0 {
 		x.stats.Rounds++
 		x.stats.Messages += int64(real)
+		x.stats.RoundBytes = append(x.stats.RoundBytes, int64(real)*valueWireBytes)
 		c := x.collector
 		var locals int64
 		for i := lo; i < hi; i++ {
@@ -482,6 +506,10 @@ func (x *Exec) checkStoreLimit(cp *CompiledPlan, lo, hi int) error {
 	add := map[int32]int{}
 	for i := lo; i < hi; i++ {
 		to, dst := cp.To[i], cp.DstSlot[i]
+		if x.transport != nil && !x.transport.Owns(to) {
+			// Non-owned stores live (and are limit-checked) elsewhere.
+			continue
+		}
 		if x.present(to, dst) {
 			continue
 		}

@@ -124,12 +124,18 @@ func LoadInputs(m *Machine, l *Layout, a, b *matrix.Sparse) {
 // CollectX gathers the output values from their owners into a sparse matrix
 // for verification. Every requested output position must be present at its
 // owner; a missing position is reported as an error (it means the algorithm
-// failed to deliver an output the model obliges it to produce).
+// failed to deliver an output the model obliges it to produce). A partitioned
+// machine collects only the outputs whose owner it hosts; the coordinator
+// merges the disjoint partials.
 func CollectX(m *Machine, l *Layout, xhat *matrix.Support) (*matrix.Sparse, error) {
 	out := matrix.NewSparse(xhat.N, m.R)
 	for i, row := range xhat.Rows {
 		for _, k := range row {
-			v, ok := m.Get(l.OwnerX(int32(i), k), XKey(int32(i), k))
+			owner := l.OwnerX(int32(i), k)
+			if !m.Owns(owner) {
+				continue
+			}
+			v, ok := m.Get(owner, XKey(int32(i), k))
 			if !ok {
 				return nil, fmt.Errorf("lbm: owner of X(%d,%d) never received it", i, k)
 			}

@@ -151,6 +151,14 @@ type Stats struct {
 	// maximum receive load is itself a lower bound on rounds for this
 	// execution, which the lower-bound experiments exploit.
 	SendLoad, RecvLoad []int64
+	// RoundBytes is the model-level payload volume of each counted round:
+	// real messages × 8 bytes (one ring value), indexed by the Rounds
+	// counter. It is lane-invariant — a batched execution reports the same
+	// per-round bytes as a scalar one — and backend-invariant: loopback and
+	// TCP runs of one plan report identical RoundBytes, while the wire cost
+	// including framing is measured separately by the transport's net/*
+	// counters.
+	RoundBytes []int64
 	// PeakStore is the maximum number of values simultaneously held by any
 	// single node (memory realism: O(d) for the sparse algorithms).
 	PeakStore int
@@ -201,6 +209,11 @@ type Machine struct {
 	// by.
 	injector Injector
 	netRound int
+	// transport, when non-nil, routes every real message of every round
+	// through the communication seam (transport.go) and restricts this
+	// machine to the stores the transport owns. nil is the original
+	// single-process fast path.
+	transport Transport
 
 	// round-scoped scratch for O(1) constraint checks
 	sentAt, recvAt []int32
@@ -310,6 +323,7 @@ func (m *Machine) Stats() Stats {
 	s := m.stats
 	s.SendLoad = append([]int64(nil), m.stats.SendLoad...)
 	s.RecvLoad = append([]int64(nil), m.stats.RecvLoad...)
+	s.RoundBytes = append([]int64(nil), m.stats.RoundBytes...)
 	return s
 }
 
@@ -332,8 +346,13 @@ func (m *Machine) MustGet(node NodeID, k Key) ring.Value {
 }
 
 // Put stores a value at node. Intended for input loading and free local
-// computation; it never moves data between nodes.
+// computation; it never moves data between nodes. Under a transport, writes
+// to non-owned stores are dropped: every participant drives the same loading
+// code and keeps only its own share.
 func (m *Machine) Put(node NodeID, k Key, v ring.Value) {
+	if m.transport != nil && !m.transport.Owns(node) {
+		return
+	}
 	st := m.stores[node]
 	st[k] = v
 	if len(st) > m.stats.PeakStore {
@@ -341,8 +360,12 @@ func (m *Machine) Put(node NodeID, k Key, v ring.Value) {
 	}
 }
 
-// Acc adds v into the value at node under k (missing reads as Zero).
+// Acc adds v into the value at node under k (missing reads as Zero). Like
+// Put, it is a no-op on stores the transport does not own.
 func (m *Machine) Acc(node NodeID, k Key, v ring.Value) {
+	if m.transport != nil && !m.transport.Owns(node) {
+		return
+	}
 	st := m.stores[node]
 	cur, ok := st[k]
 	if !ok {
@@ -396,6 +419,9 @@ func (m *Machine) checkRound(r Round) (int64, error) {
 // sizes *before* any value is delivered — leaving both stats and stores
 // untouched.
 func (m *Machine) RunRound(r Round) error {
+	if m.transport != nil {
+		return m.runRoundVia(r)
+	}
 	real, err := m.checkRound(r)
 	if err != nil {
 		return err
@@ -418,6 +444,7 @@ func (m *Machine) RunRound(r Round) error {
 	if real > 0 {
 		m.stats.Rounds++
 		m.stats.Messages += real
+		m.stats.RoundBytes = append(m.stats.RoundBytes, real*valueWireBytes)
 		c := m.collector
 		var locals int64
 		for _, s := range r {
@@ -454,6 +481,10 @@ func (m *Machine) checkStoreLimit(r Round) error {
 	var seen map[nodeKey]struct{}
 	add := map[NodeID]int{}
 	for _, s := range r {
+		if m.transport != nil && !m.transport.Owns(s.To) {
+			// Non-owned stores live (and are limit-checked) elsewhere.
+			continue
+		}
 		if _, ok := m.stores[s.To][s.Dst]; ok {
 			continue
 		}
@@ -843,8 +874,9 @@ func (m *Machine) Reset() {
 		clear(m.stores[i])
 	}
 	m.stats = Stats{
-		SendLoad: m.stats.SendLoad,
-		RecvLoad: m.stats.RecvLoad,
+		SendLoad:   m.stats.SendLoad,
+		RecvLoad:   m.stats.RecvLoad,
+		RoundBytes: m.stats.RoundBytes[:0],
 	}
 	for i := range m.stats.SendLoad {
 		m.stats.SendLoad[i] = 0

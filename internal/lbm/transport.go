@@ -1,0 +1,437 @@
+package lbm
+
+import (
+	"fmt"
+
+	"lbmm/internal/ring"
+)
+
+// This file is the communication seam of the execution spine. Both engines
+// walk a plan's rounds; the point where a round's real messages leave their
+// senders and reach their receivers — previously implicit in the in-memory
+// gather/deliver — is factored behind Transport so the same instruction walk
+// drives an in-process loopback or a mesh of TCP peers (internal/dist).
+//
+// The contract mirrors the model: rounds are synchronous barriers. Every
+// participant walks the identical plan, so all of them observe the same
+// round sequence and the same per-round real-message count; a round with at
+// least one real message performs exactly one Send per owned sender followed
+// by exactly one Deliver (the barrier), and the one-receive-per-round
+// invariant makes (round, destination) a unique payload address. Rounds of
+// only free local copies never touch the transport.
+//
+// A nil transport is the default and is not merely Loopback spelled
+// differently: it selects the original single-process fast path, with no
+// ownership checks and no per-round map traffic. Loopback routes every real
+// message through the full seam while owning every node, which the
+// differential tests hold to byte-identical results, Stats and fault
+// provenance against the nil-transport engines.
+
+// valueWireBytes is the model-level size of one ring value on the wire
+// (ring.Value is a float64). Stats.RoundBytes counts payload values at this
+// size; the framing overhead of a real backend is measured separately by its
+// net/* counters.
+const valueWireBytes = 8
+
+// Transport moves one round's real messages between nodes. Implementations
+// are used by a single execution at a time (engines are not concurrent
+// internally), but several executions may each hold their own Transport.
+type Transport interface {
+	// Owns reports whether this participant hosts node v's store. Non-owned
+	// stores are inert: writes to them are dropped and their sends are some
+	// other participant's job.
+	Owns(v NodeID) bool
+	// Send queues the payload of one real message of the given network round
+	// for delivery to the store of dst (which may be local). The payload
+	// slice must remain untouched by the caller until Deliver returns; it
+	// carries one value per lane.
+	Send(round int, dst NodeID, payload []ring.Value) error
+	// Deliver is the round barrier: it flushes queued sends, waits for every
+	// peer, and returns the payloads addressed to locally-owned nodes, keyed
+	// by destination (unique per round by the one-receive invariant). It is
+	// called exactly once per network round by every participant, after all
+	// of that participant's Sends for the round.
+	Deliver(round int) (map[NodeID][]ring.Value, error)
+}
+
+// Loopback is the in-process Transport: it owns every node and stashes each
+// round's payloads in memory, so Deliver returns them without any wire. It
+// exists to exercise the full transport seam — ownership checks, Send and
+// barrier ordering — while staying bit-identical to the nil-transport
+// engines, which the differential tests assert.
+type Loopback struct {
+	inbox map[NodeID][]ring.Value
+}
+
+// Owns reports true: a loopback participant hosts every node.
+func (lb *Loopback) Owns(NodeID) bool { return true }
+
+// Send stashes the payload under its destination.
+func (lb *Loopback) Send(round int, dst NodeID, payload []ring.Value) error {
+	if lb.inbox == nil {
+		lb.inbox = make(map[NodeID][]ring.Value)
+	}
+	lb.inbox[dst] = payload
+	return nil
+}
+
+// Deliver hands back the round's stash.
+func (lb *Loopback) Deliver(round int) (map[NodeID][]ring.Value, error) {
+	in := lb.inbox
+	lb.inbox = nil
+	return in, nil
+}
+
+// MergeStats combines the per-participant statistics of one partitioned
+// execution into the whole-run view a single-process engine would report.
+// Per-owned-node charges (Messages, LocalCopies, SendLoad, RecvLoad) sum
+// across the disjoint partitions; run-global measures every participant
+// observed identically (Rounds, RoundBytes, PeakStore as the max over the
+// per-node trajectories it hosts) merge by max.
+func MergeStats(parts ...Stats) Stats {
+	var out Stats
+	for _, p := range parts {
+		if p.Rounds > out.Rounds {
+			out.Rounds = p.Rounds
+		}
+		if p.PeakStore > out.PeakStore {
+			out.PeakStore = p.PeakStore
+		}
+		out.Messages += p.Messages
+		out.LocalCopies += p.LocalCopies
+		if len(p.SendLoad) > len(out.SendLoad) {
+			out.SendLoad = append(out.SendLoad, make([]int64, len(p.SendLoad)-len(out.SendLoad))...)
+			out.RecvLoad = append(out.RecvLoad, make([]int64, len(p.RecvLoad)-len(out.RecvLoad))...)
+		}
+		for i, v := range p.SendLoad {
+			out.SendLoad[i] += v
+		}
+		for i, v := range p.RecvLoad {
+			out.RecvLoad[i] += v
+		}
+		if len(p.RoundBytes) > len(out.RoundBytes) {
+			out.RoundBytes = append(out.RoundBytes, make([]int64, len(p.RoundBytes)-len(out.RoundBytes))...)
+		}
+		for i, v := range p.RoundBytes {
+			if v > out.RoundBytes[i] {
+				out.RoundBytes[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// WithTransport attaches a transport to a machine or executor. nil (the
+// default) keeps the original in-memory fast path.
+func WithTransport(t Transport) Option {
+	return func(m *Machine) { m.transport = t }
+}
+
+// Owns reports whether this machine hosts node v's store (always true
+// without a transport).
+func (m *Machine) Owns(v NodeID) bool {
+	return m.transport == nil || m.transport.Owns(v)
+}
+
+// Owns reports whether this executor hosts node v's store (always true
+// without a transport).
+func (x *Exec) Owns(v NodeID) bool {
+	return x.transport == nil || x.transport.Owns(v)
+}
+
+// runRoundVia executes one round through the machine's transport: validate,
+// inject, gather owned payloads against the round-start state, exchange real
+// messages at the barrier, apply deliveries in instruction order, then
+// charge the owned share of the stats. With Loopback (owns-all) every step
+// reduces to the nil-transport RunRound exactly.
+func (m *Machine) runRoundVia(r Round) error {
+	real, err := m.checkRound(r)
+	if err != nil {
+		return err
+	}
+	// Fault injection covers the full round on every participant — the walk
+	// depends only on the plan, so all of them reach the same verdict and
+	// abort before anything is sent, leaving no frame in flight.
+	if m.injector != nil {
+		if err := m.injectRound(r); err != nil {
+			return err
+		}
+	}
+	tr := m.transport
+	vals := make([]ring.Value, len(r))
+	have := make([]bool, len(r))
+	for idx, s := range r {
+		if !tr.Owns(s.From) {
+			continue
+		}
+		v, ok := m.stores[s.From][s.Src]
+		if !ok {
+			return fmt.Errorf("lbm: node %d cannot send missing key %v", s.From, s.Src)
+		}
+		vals[idx] = v
+		have[idx] = true
+	}
+	if m.StoreLimit > 0 {
+		if err := m.checkStoreLimit(r); err != nil {
+			return err
+		}
+	}
+	var inbound map[NodeID][]ring.Value
+	if real > 0 {
+		rt := m.stats.Rounds // network round index: the pre-increment counter
+		for idx, s := range r {
+			if s.From == s.To || !have[idx] {
+				continue
+			}
+			if err := tr.Send(rt, s.To, vals[idx:idx+1]); err != nil {
+				return err
+			}
+		}
+		// The barrier runs whenever the round carries real messages, even on
+		// a participant that owns none of them: every peer must ack.
+		if inbound, err = tr.Deliver(rt); err != nil {
+			return err
+		}
+	}
+	for idx, s := range r {
+		if s.From == s.To {
+			if !have[idx] {
+				continue
+			}
+			m.applyDelivery(s, vals[idx])
+			continue
+		}
+		if !tr.Owns(s.To) {
+			continue
+		}
+		vs, ok := inbound[s.To]
+		if !ok {
+			return fmt.Errorf("lbm: transport delivered no payload for node %d in network round %d", s.To, m.stats.Rounds)
+		}
+		m.applyDelivery(s, vs[0])
+	}
+	if real > 0 {
+		m.stats.Rounds++
+		m.stats.RoundBytes = append(m.stats.RoundBytes, real*valueWireBytes)
+		c := m.collector
+		var locals, ownedLocals, ownedReal int64
+		for _, s := range r {
+			if s.From != s.To {
+				if tr.Owns(s.From) {
+					ownedReal++
+					m.stats.SendLoad[s.From]++
+					if c != nil {
+						c.OnSend(s.From, s.To)
+					}
+				}
+				if tr.Owns(s.To) {
+					m.stats.RecvLoad[s.To]++
+				}
+			} else {
+				locals++
+				if tr.Owns(s.From) {
+					ownedLocals++
+				}
+			}
+		}
+		m.stats.Messages += ownedReal
+		m.stats.LocalCopies += ownedLocals
+		if c != nil {
+			c.OnRound(int(real), int(locals))
+		}
+	} else if len(r) > 0 {
+		var owned int64
+		for _, s := range r {
+			if tr.Owns(s.From) {
+				owned++
+			}
+		}
+		m.stats.LocalCopies += owned
+	}
+	return nil
+}
+
+// applyDelivery merges one payload value into the receiver's store with peak
+// tracking, the single-send form of deliver.
+func (m *Machine) applyDelivery(s Send, v ring.Value) {
+	st := m.stores[s.To]
+	m.applyOp(st, s.Dst, s.Op, v)
+	if len(st) > m.stats.PeakStore {
+		m.stats.PeakStore = len(st)
+	}
+}
+
+// runRoundVia is the compiled engine's transport round: the same shape as
+// Machine.runRoundVia over the SoA instruction range, carrying all lanes of
+// each message in one payload.
+func (x *Exec) runRoundVia(cp *CompiledPlan, t int) error {
+	lo, hi := int(cp.RoundOff[t]), int(cp.RoundOff[t+1])
+	if hi == lo {
+		return nil
+	}
+	if x.injector != nil {
+		if err := x.injectRound(cp, lo, hi); err != nil {
+			return err
+		}
+	}
+	tr := x.transport
+	K := x.lanes
+	// Gather owned payloads against the round-start state into a fresh
+	// buffer: its sub-slices are handed to the transport, which may hold them
+	// until the barrier, so the shared scratch of the fast path cannot back
+	// them. Capacity is exact, so sub-slices never move.
+	buf := make([]ring.Value, 0, (hi-lo)*K)
+	vals := make([][]ring.Value, hi-lo)
+	for i := lo; i < hi; i++ {
+		from, slot := cp.From[i], cp.SrcSlot[i]
+		if !tr.Owns(from) {
+			continue
+		}
+		if x.stamp[from][slot] != x.epoch {
+			return x.missingErr(cp, i)
+		}
+		n := len(buf)
+		buf = append(buf, x.arena[from][int(slot)*K:(int(slot)+1)*K]...)
+		vals[i-lo] = buf[n : n+K]
+	}
+	if x.StoreLimit > 0 {
+		if err := x.checkStoreLimit(cp, lo, hi); err != nil {
+			return err
+		}
+	}
+	real := int64(cp.Real[t])
+	var inbound map[NodeID][]ring.Value
+	if real > 0 {
+		rt := x.stats.Rounds
+		for i := lo; i < hi; i++ {
+			if cp.From[i] == cp.To[i] || vals[i-lo] == nil {
+				continue
+			}
+			if err := tr.Send(rt, cp.To[i], vals[i-lo]); err != nil {
+				return err
+			}
+		}
+		var err error
+		if inbound, err = tr.Deliver(rt); err != nil {
+			return err
+		}
+	}
+	for i := lo; i < hi; i++ {
+		to := cp.To[i]
+		if cp.From[i] == to {
+			if vals[i-lo] == nil {
+				continue
+			}
+			x.applyValues(cp, i, vals[i-lo])
+			continue
+		}
+		if !tr.Owns(to) {
+			continue
+		}
+		vs, ok := inbound[to]
+		if !ok {
+			return fmt.Errorf("lbm: transport delivered no payload for node %d in network round %d", to, x.stats.Rounds)
+		}
+		if len(vs) != K {
+			return fmt.Errorf("lbm: transport payload for node %d carries %d values, want %d lanes", to, len(vs), K)
+		}
+		x.applyValues(cp, i, vs)
+	}
+	if real > 0 {
+		x.stats.Rounds++
+		x.stats.RoundBytes = append(x.stats.RoundBytes, real*valueWireBytes)
+		c := x.collector
+		var locals, ownedLocals, ownedReal int64
+		for i := lo; i < hi; i++ {
+			from, to := cp.From[i], cp.To[i]
+			if from != to {
+				if tr.Owns(from) {
+					ownedReal++
+					x.stats.SendLoad[from]++
+					if c != nil {
+						c.OnSend(from, to)
+					}
+				}
+				if tr.Owns(to) {
+					x.stats.RecvLoad[to]++
+				}
+			} else {
+				locals++
+				if tr.Owns(from) {
+					ownedLocals++
+				}
+			}
+		}
+		x.stats.Messages += ownedReal
+		x.stats.LocalCopies += ownedLocals
+		if c != nil {
+			c.OnRound(int(real), int(locals))
+		}
+	} else {
+		var owned int64
+		for i := lo; i < hi; i++ {
+			if tr.Owns(cp.From[i]) {
+				owned++
+			}
+		}
+		x.stats.LocalCopies += owned
+	}
+	return nil
+}
+
+// applyValues delivers one instruction's payload lanes into the destination
+// slot and marks it present — applyInstr with an explicit payload slice
+// instead of the round scratch layout.
+func (x *Exec) applyValues(cp *CompiledPlan, i int, vs []ring.Value) {
+	to, dst := cp.To[i], cp.DstSlot[i]
+	K := x.lanes
+	if K == 1 {
+		v := vs[0]
+		switch cp.Ops[i] {
+		case OpAcc:
+			cur := x.R.Zero()
+			if x.present(to, dst) {
+				cur = x.arena[to][dst]
+			}
+			x.arena[to][dst] = x.R.Add(cur, v)
+		case OpSub:
+			cur := x.R.Zero()
+			if x.present(to, dst) {
+				cur = x.arena[to][dst]
+			}
+			x.arena[to][dst] = x.field.Sub(cur, v)
+		default:
+			x.arena[to][dst] = v
+		}
+		x.markPresent(to, dst)
+		return
+	}
+	ds := x.arena[to][int(dst)*K : (int(dst)+1)*K]
+	switch cp.Ops[i] {
+	case OpAcc:
+		if x.present(to, dst) {
+			for l, v := range vs {
+				ds[l] = x.R.Add(ds[l], v)
+			}
+		} else {
+			zero := x.R.Zero()
+			for l, v := range vs {
+				ds[l] = x.R.Add(zero, v)
+			}
+		}
+	case OpSub:
+		if x.present(to, dst) {
+			for l, v := range vs {
+				ds[l] = x.field.Sub(ds[l], v)
+			}
+		} else {
+			zero := x.R.Zero()
+			for l, v := range vs {
+				ds[l] = x.field.Sub(zero, v)
+			}
+		}
+	default:
+		copy(ds, vs)
+	}
+	x.markPresent(to, dst)
+}

@@ -2,11 +2,21 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"lbmm/internal/core"
 	"lbmm/internal/matrix"
 )
+
+// ErrBadRequest marks a fingerprinting failure caused by the request
+// itself — malformed or truncated JSON, invalid entries, a missing lane, an
+// unknown ring, or a path without a fingerprint schema. Routers test for it
+// with errors.Is and fall through to local handling, where the HTTP layer
+// produces its canonical 400; a fingerprint is never computed from a body
+// that failed to validate, so a damaged request cannot route to the wrong
+// shard.
+var ErrBadRequest = errors.New("service: unfingerprintable request")
 
 // RequestFingerprint computes the plan fingerprint a server would use for
 // the body of a serving-API request, without building value matrices or
@@ -19,7 +29,14 @@ import (
 // or "/v1/prepare". Bodies that fail to decode or validate return an error;
 // routers should fall through to local handling, where the HTTP layer
 // produces its usual 400.
-func RequestFingerprint(path string, body []byte) (string, error) {
+func RequestFingerprint(path string, body []byte) (fp string, err error) {
+	// Every failure is the request's fault: tag the whole surface so a
+	// router's errors.Is check can't miss a path.
+	defer func() {
+		if err != nil && !errors.Is(err, ErrBadRequest) {
+			err = fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+	}()
 	switch path {
 	case "/v1/multiply":
 		var req wireMultiplyRequest

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"testing"
 
@@ -109,5 +110,53 @@ func TestRequestFingerprintMatchesServer(t *testing.T) {
 	bad := wireMultiplyRequest{N: 4, A: []wireEntry{{9, 0, 1}}}
 	if _, err := RequestFingerprint("/v1/multiply", encode(bad)); err == nil {
 		t.Fatal("out-of-range index fingerprinted")
+	}
+}
+
+// TestRequestFingerprintBadBodies is the regression suite for the routing
+// seam's failure surface: every malformed, truncated or invalid body must
+// come back as a typed ErrBadRequest — never a panic, never a fingerprint
+// that would route a damaged request to a shard.
+func TestRequestFingerprintBadBodies(t *testing.T) {
+	valid := []byte(`{"n":4,"a":[[0,1,1]],"b":[[1,2,1]],"xhat":[[0,2]]}`)
+	if _, err := RequestFingerprint("/v1/multiply", valid); err != nil {
+		t.Fatalf("control body failed: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		path string
+		body []byte
+	}{
+		{"nil body", "/v1/multiply", nil},
+		{"empty body", "/v1/multiply", []byte("")},
+		{"not json", "/v1/multiply", []byte("not json at all")},
+		{"wrong top-level type", "/v1/multiply", []byte(`[1,2,3]`)},
+		{"truncated object", "/v1/multiply", []byte(`{"n":4,"a":[[0,`)},
+		{"entry not an array", "/v1/multiply", []byte(`{"n":4,"a":[5],"b":[],"xhat":[]}`)},
+		{"fractional index", "/v1/multiply", []byte(`{"n":4,"a":[[0.5,1,1]],"b":[],"xhat":[]}`)},
+		{"negative index", "/v1/multiply", []byte(`{"n":4,"a":[[-1,0,1]],"b":[],"xhat":[]}`)},
+		{"index out of range", "/v1/multiply", []byte(`{"n":4,"a":[[4,0,1]],"b":[],"xhat":[]}`)},
+		{"unknown ring", "/v1/multiply", []byte(`{"n":4,"ring":"octonion","a":[],"b":[],"xhat":[]}`)},
+		{"batch truncated", "/v1/multiply/batch", []byte(`{"n":4,"lanes":[{"a":`)},
+		{"batch without lanes", "/v1/multiply/batch", []byte(`{"n":4,"xhat":[]}`)},
+		{"prepare truncated", "/v1/prepare", []byte(`{"n":4,"ahat"`)},
+		{"prepare bad position", "/v1/prepare", []byte(`{"n":4,"ahat":[[7,0]],"bhat":[],"xhat":[]}`)},
+		{"unrouted path", "/v1/classify", []byte(`{}`)},
+		{"empty path", "", valid},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fp, err := RequestFingerprint(tc.path, tc.body)
+			if err == nil {
+				t.Fatalf("fingerprinted as %q, want an error", fp)
+			}
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("error %v is not ErrBadRequest", err)
+			}
+			if fp != "" {
+				t.Fatalf("error case returned a fingerprint %q", fp)
+			}
+		})
 	}
 }
