@@ -1,0 +1,248 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"lbmm/internal/core"
+	"lbmm/internal/dist"
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// runBenchPR9 prices the partition axis on a skewed workload: the same
+// prepared plan executed across a localhost TCP mesh under the modulo
+// node-ownership map and under the load-aware balanced table
+// (dist.BalancedTable over the compiled plan's per-node loads). The modulo
+// map balances node counts; on power-law structures the per-node
+// communication is concentrated on hub nodes, so the interesting number is
+// the max-per-rank wire bytes — the straggler that paces every barrier —
+// under each map. Products must be identical. The JSON artifact is
+// committed as BENCH_PR9.json.
+
+// benchPartitionSide is one partition strategy's measured half of a case.
+type benchPartitionSide struct {
+	Partition string `json:"partition"`
+	// PerRankLoad is the compile-time per-rank model load (send+recv
+	// volume folded through the table, dist.RankLoads) the balancer bins;
+	// PerRankWireBytes the framed TCP bytes each rank actually wrote.
+	PerRankLoad      []int64 `json:"per_rank_load"`
+	MaxRankLoad      int64   `json:"max_rank_load"`
+	PerRankWireBytes []int64 `json:"per_rank_wire_bytes"`
+	MaxRankWireBytes int64   `json:"max_rank_wire_bytes"`
+	WallNS           float64 `json:"wall_ns"`
+	Match            bool    `json:"match"`
+}
+
+type benchPR9Case struct {
+	Name      string             `json:"name"`
+	Workload  string             `json:"workload"`
+	N         int                `json:"n"`
+	D         int                `json:"d"`
+	Algorithm string             `json:"algorithm"`
+	Ring      string             `json:"ring"`
+	Lanes     int                `json:"lanes"`
+	Iters     int                `json:"iters"`
+	Modulo    benchPartitionSide `json:"modulo"`
+	Balanced  benchPartitionSide `json:"balanced"`
+	// MaxWireRatio is modulo's max-per-rank wire bytes over balanced's —
+	// above 1 the balanced table relieved the straggler rank.
+	MaxWireRatio float64 `json:"max_wire_ratio"`
+}
+
+type benchPR9Report struct {
+	Schema    string         `json:"schema"`
+	GoVersion string         `json:"go_version"`
+	Workers   int            `json:"workers"`
+	Cases     []benchPR9Case `json:"cases"`
+}
+
+func runBenchPR9(n, d, iters int, outPath string) error {
+	if iters <= 0 {
+		iters = 10
+	}
+	type spec struct {
+		name  string
+		wl    string
+		alg   string
+		r     ring.Semiring
+		lanes int
+	}
+	specs := []spec{
+		{"powerlaw/lemma31/counting/k1", "powerlaw", "lemma31", ring.Counting{}, 1},
+		{"powerlaw/lemma31/counting/k16", "powerlaw", "lemma31", ring.Counting{}, 16},
+		{"powerlaw/theorem42/real/k1", "powerlaw", "theorem42", ring.Real{}, 1},
+		{"powerlaw/theorem42/real/k16", "powerlaw", "theorem42", ring.Real{}, 16},
+	}
+	const workers = 3
+	report := benchPR9Report{Schema: "lbmm.bench_pr9.v1", GoVersion: runtime.Version(), Workers: workers}
+	for _, sp := range specs {
+		inst := workload.PowerLaw(n, d, 42)
+		prep, err := core.Prepare(inst.Ahat, inst.Bhat, inst.Xhat, core.Options{
+			Ring: sp.r, D: d, Algorithm: sp.alg, Engine: "compiled",
+		})
+		if err != nil {
+			return fmt.Errorf("%s: prepare: %w", sp.name, err)
+		}
+		send, recv := prep.NodeLoads()
+		if send == nil {
+			return fmt.Errorf("%s: compiled plan reports no load profile", sp.name)
+		}
+		as := make([]*matrix.Sparse, sp.lanes)
+		bs := make([]*matrix.Sparse, sp.lanes)
+		wants := make([]*matrix.Sparse, sp.lanes)
+		for l := range as {
+			as[l] = matrix.Random(inst.Ahat, sp.r, int64(2*l+1))
+			bs[l] = matrix.Random(inst.Bhat, sp.r, int64(2*l+2))
+			if wants[l], _, err = prep.Multiply(as[l], bs[l]); err != nil {
+				return fmt.Errorf("%s: reference lane %d: %w", sp.name, l, err)
+			}
+		}
+
+		bc := benchPR9Case{
+			Name:      sp.name,
+			Workload:  sp.wl,
+			N:         n,
+			D:         d,
+			Algorithm: sp.alg,
+			Ring:      sp.r.Name(),
+			Lanes:     sp.lanes,
+			Iters:     iters,
+		}
+		balanced := dist.BalancedTable(send, recv, workers)
+		sides := []struct {
+			out   *benchPartitionSide
+			name  string
+			table []uint16
+		}{
+			{&bc.Modulo, dist.PartitionModulo, nil},
+			{&bc.Balanced, dist.PartitionBalanced, balanced},
+		}
+		for _, side := range sides {
+			ps, err := benchPartition(prep, as, bs, wants, side.table, workers, iters)
+			if err != nil {
+				return fmt.Errorf("%s: %s: %w", sp.name, side.name, err)
+			}
+			ps.Partition = side.name
+			ps.PerRankLoad = dist.RankLoads(side.table, send, recv, workers)
+			ps.MaxRankLoad = maxOf(ps.PerRankLoad)
+			*side.out = ps
+		}
+		if bc.Balanced.MaxRankWireBytes > 0 {
+			bc.MaxWireRatio = float64(bc.Modulo.MaxRankWireBytes) / float64(bc.Balanced.MaxRankWireBytes)
+		}
+		report.Cases = append(report.Cases, bc)
+		fmt.Printf("%-30s modulo max %8d B/rank (load %6d)   balanced max %8d B/rank (load %6d)   ratio %.3f  match=%v/%v\n",
+			sp.name, bc.Modulo.MaxRankWireBytes, bc.Modulo.MaxRankLoad,
+			bc.Balanced.MaxRankWireBytes, bc.Balanced.MaxRankLoad,
+			bc.MaxWireRatio, bc.Modulo.Match, bc.Balanced.Match)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		outPath = "BENCH_PR9.json"
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// benchPartition measures one partition strategy: a warm-up run whose merged
+// per-lane products are verified against wants, then iters timed concurrent
+// walks whose per-rank wire bytes are collected.
+func benchPartition(prep *core.Prepared, as, bs, wants []*matrix.Sparse, table []uint16, workers, iters int) (benchPartitionSide, error) {
+	var ps benchPartitionSide
+	meshes, stop, err := dist.NewLocalMeshTable(workers, table)
+	if err != nil {
+		return ps, err
+	}
+	defer stop()
+	got, err := meshMultiply(prep, as, bs, meshes)
+	if err != nil {
+		return ps, err
+	}
+	ps.Match = true
+	for l := range got {
+		if !matrix.Equal(got[l], wants[l]) {
+			ps.Match = false
+		}
+	}
+	for _, m := range meshes {
+		m.Counters().Set(dist.CounterBytesSent, 0)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := meshMultiply(prep, as, bs, meshes); err != nil {
+			return ps, err
+		}
+	}
+	ps.WallNS = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	ps.PerRankWireBytes = make([]int64, workers)
+	for rk, m := range meshes {
+		ps.PerRankWireBytes[rk] = m.Counters().Get(dist.CounterBytesSent) / int64(iters)
+	}
+	ps.MaxRankWireBytes = maxOf(ps.PerRankWireBytes)
+	return ps, nil
+}
+
+// meshMultiply runs one partitioned (possibly batched) multiplication on
+// every rank of an established mesh concurrently and merges the disjoint
+// partial products lane for lane.
+func meshMultiply(prep *core.Prepared, as, bs []*matrix.Sparse, meshes []*dist.Mesh) ([]*matrix.Sparse, error) {
+	outs := make([][]*matrix.Sparse, len(meshes))
+	errs := make([]error, len(meshes))
+	var wg sync.WaitGroup
+	for rk := range meshes {
+		wg.Add(1)
+		go func(rk int) {
+			defer wg.Done()
+			if len(as) == 1 {
+				var x *matrix.Sparse
+				x, _, errs[rk] = prep.MultiplyOpts(as[0], bs[0], core.ExecOpts{Transport: meshes[rk]})
+				outs[rk] = []*matrix.Sparse{x}
+				return
+			}
+			outs[rk], _, errs[rk] = prep.MultiplyBatch(as, bs, core.ExecOpts{Transport: meshes[rk]})
+		}(rk)
+	}
+	wg.Wait()
+	for rk, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", rk, err)
+		}
+	}
+	merged := make([]*matrix.Sparse, len(as))
+	for l := range merged {
+		merged[l] = matrix.NewSparse(as[0].N, as[0].R)
+	}
+	for _, xs := range outs {
+		for l, x := range xs {
+			for i, row := range x.Rows {
+				for _, c := range row {
+					merged[l].Set(i, int(c.Col), c.Val)
+				}
+			}
+		}
+	}
+	return merged, nil
+}
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

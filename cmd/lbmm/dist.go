@@ -22,10 +22,17 @@ func runWorker(args []string) error {
 	quiet := fs.Bool("q", false, "suppress per-connection logging")
 	peerTO := fs.Duration("peer-timeout", 30*time.Second, "how long a job waits for its mesh to form")
 	readTO := fs.Duration("read-timeout", 60*time.Second, "per-round barrier deadline")
+	parkTTL := fs.Duration("park-ttl", 0, "reap unclaimed parked peer connections after this long (0 = 2x peer-timeout)")
+	planCache := fs.Int("plan-cache", 0, "decoded plans kept in the fingerprint-keyed LRU (0 = 16, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := dist.WorkerOptions{PeerTimeout: *peerTO, ReadTimeout: *readTO}
+	opts := dist.WorkerOptions{
+		PeerTimeout: *peerTO,
+		ReadTimeout: *readTO,
+		ParkTTL:     *parkTTL,
+		PlanCache:   *planCache,
+	}
 	if !*quiet {
 		logger := log.New(os.Stderr, "lbmm worker: ", log.LstdFlags)
 		opts.Log = logger.Printf
@@ -34,22 +41,29 @@ func runWorker(args []string) error {
 }
 
 // distRunReport is the JSON summary of one coordinated distributed
-// multiplication (schema lbmm.dist_run.v1). CI asserts on .match and
-// .net.bytes_sent.
+// multiplication (schema lbmm.dist_run.v2). CI asserts on .match,
+// .net.bytes_sent and .dist.plan_hits.
 type distRunReport struct {
-	Schema    string           `json:"schema"`
-	Workers   int              `json:"workers"`
-	Workload  string           `json:"workload"`
-	N         int              `json:"n"`
-	D         int              `json:"d"`
-	Algorithm string           `json:"algorithm"`
-	Ring      string           `json:"ring"`
-	Rounds    int              `json:"rounds"`
-	Messages  int64            `json:"messages"`
-	OutputNNZ int              `json:"output_nnz"`
-	Match     bool             `json:"match"`
-	WallNS    int64            `json:"wall_ns"`
-	Net       map[string]int64 `json:"net"`
+	Schema    string `json:"schema"`
+	Workers   int    `json:"workers"`
+	Workload  string `json:"workload"`
+	N         int    `json:"n"`
+	D         int    `json:"d"`
+	Algorithm string `json:"algorithm"`
+	Ring      string `json:"ring"`
+	Partition string `json:"partition"`
+	Lanes     int    `json:"lanes"`
+	Rounds    int    `json:"rounds"`
+	Messages  int64  `json:"messages"`
+	OutputNNZ int    `json:"output_nnz"`
+	Match     bool   `json:"match"`
+	WallNS    int64  `json:"wall_ns"`
+	// Net sums the transport counters across ranks; PerRankNet keeps each
+	// rank's own set (the communication balance the partition achieved);
+	// Dist carries the plan-cache counters (plan_hits, plan_misses).
+	Net        map[string]int64   `json:"net"`
+	PerRankNet []map[string]int64 `json:"per_rank_net"`
+	Dist       map[string]int64   `json:"dist"`
 }
 
 // runDistRun coordinates one multiplication across real worker processes
@@ -64,6 +78,8 @@ func runDistRun(args []string) error {
 	algName := fs.String("alg", "lemma31", "algorithm (auto|theorem42|lemma31)")
 	ringName := fs.String("ring", "real", "semiring (boolean|counting|minplus|maxplus|gfp|real)")
 	seed := fs.Int64("seed", 1, "value seed (equal seeds replay equal values)")
+	partition := fs.String("partition", dist.PartitionModulo, "node ownership map (modulo|balanced)")
+	lanes := fs.Int("k", 1, "value-set lanes to batch through one shared mesh walk")
 	outPath := fs.String("o", "", "also write the JSON report to this file")
 	noVerify := fs.Bool("no-verify", false, "skip the in-process cross-check")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +88,9 @@ func runDistRun(args []string) error {
 	addrs := strings.Split(*workers, ",")
 	if *workers == "" || len(addrs) < 2 {
 		return fmt.Errorf("run needs -workers with at least 2 comma-separated addresses")
+	}
+	if *lanes < 1 {
+		return fmt.Errorf("run needs -k of at least 1, got %d", *lanes)
 	}
 
 	inst, err := workloadInstance(*wlName, *n, *d)
@@ -88,17 +107,22 @@ func runDistRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	a := matrix.Random(inst.Ahat, r, *seed)
-	b := matrix.Random(inst.Bhat, r, *seed+1)
+	as := make([]*matrix.Sparse, *lanes)
+	bs := make([]*matrix.Sparse, *lanes)
+	for l := range as {
+		as[l] = matrix.Random(inst.Ahat, r, *seed+2*int64(l))
+		bs[l] = matrix.Random(inst.Bhat, r, *seed+2*int64(l)+1)
+	}
 
 	start := time.Now()
 	res, err := dist.Run(dist.RunConfig{
-		Workers: addrs,
-		Prep:    prep,
-		A:       a,
-		B:       b,
-		N:       inst.Ahat.N,
-		Ring:    *ringName,
+		Workers:   addrs,
+		Prep:      prep,
+		As:        as,
+		Bs:        bs,
+		N:         inst.Ahat.N,
+		Ring:      *ringName,
+		Partition: *partition,
 	})
 	if err != nil {
 		return err
@@ -107,26 +131,41 @@ func runDistRun(args []string) error {
 
 	match := true
 	if !*noVerify {
-		want, _, err := prep.Multiply(a, b)
-		if err != nil {
-			return fmt.Errorf("in-process cross-check: %w", err)
+		// Cross-check every lane against its own in-process scalar product:
+		// the batched distributed walk must be bit-identical, lane for lane,
+		// to k independent multiplications.
+		for l := range as {
+			want, _, err := prep.Multiply(as[l], bs[l])
+			if err != nil {
+				return fmt.Errorf("in-process cross-check, lane %d: %w", l, err)
+			}
+			if !matrix.Equal(res.Xs[l], want) {
+				match = false
+			}
 		}
-		match = matrix.Equal(res.X, want)
+	}
+	perRank := make([]map[string]int64, len(res.PerRankCounters))
+	for rk, c := range res.PerRankCounters {
+		perRank[rk] = counterGroup(c, "net/")
 	}
 	report := distRunReport{
-		Schema:    "lbmm.dist_run.v1",
-		Workers:   len(addrs),
-		Workload:  *wlName,
-		N:         *n,
-		D:         *d,
-		Algorithm: *algName,
-		Ring:      *ringName,
-		Rounds:    res.Stats.Rounds,
-		Messages:  res.Stats.Messages,
-		OutputNNZ: res.X.NNZ(),
-		Match:     match,
-		WallNS:    wall.Nanoseconds(),
-		Net:       counterJSON(res.Counters),
+		Schema:     "lbmm.dist_run.v2",
+		Workers:    len(addrs),
+		Workload:   *wlName,
+		N:          *n,
+		D:          *d,
+		Algorithm:  *algName,
+		Ring:       *ringName,
+		Partition:  *partition,
+		Lanes:      *lanes,
+		Rounds:     res.Stats.Rounds,
+		Messages:   res.Stats.Messages,
+		OutputNNZ:  res.X.NNZ(),
+		Match:      match,
+		WallNS:     wall.Nanoseconds(),
+		Net:        counterGroup(res.Counters, "net/"),
+		PerRankNet: perRank,
+		Dist:       counterGroup(res.Counters, "dist/"),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -145,12 +184,14 @@ func runDistRun(args []string) error {
 	return nil
 }
 
-// counterJSON strips the net/ prefix for compact JSON keys
-// (net/bytes_sent → bytes_sent).
-func counterJSON(counters map[string]int64) map[string]int64 {
-	out := make(map[string]int64, len(counters))
+// counterGroup selects the counters under one namespace prefix and strips
+// it for compact JSON keys (net/bytes_sent → bytes_sent).
+func counterGroup(counters map[string]int64, prefix string) map[string]int64 {
+	out := make(map[string]int64)
 	for k, v := range counters {
-		out[strings.TrimPrefix(k, "net/")] = v
+		if strings.HasPrefix(k, prefix) {
+			out[strings.TrimPrefix(k, prefix)] = v
+		}
 	}
 	return out
 }

@@ -42,13 +42,18 @@
 //	lbmm benchpr8 [-n N] [-d D] [-iters K] [-o BENCH_PR8.json]
 //	                        transport-backend benchmark: direct vs loopback
 //	                        vs TCP-localhost mesh wall clock and bytes/round
-//	lbmm worker [-addr :7070] [-q] [-peer-timeout D] [-read-timeout D]
+//	lbmm benchpr9 [-n N] [-d D] [-iters K] [-o BENCH_PR9.json]
+//	                        partition benchmark: modulo vs load-aware balanced
+//	                        node ownership on a skewed (power-law) workload —
+//	                        max-per-rank wire bytes under each map
+//	lbmm worker [-addr :7070] [-q] [-peer-timeout D] [-read-timeout D] [-park-ttl D] [-plan-cache N]
 //	                        distributed-multiply worker process: serves jobs
 //	                        and forms per-job TCP meshes (docs/DIST.md)
-//	lbmm run -workers A1,A2,… [-workload W] [-n N] [-d D] [-alg A] [-ring R] [-seed S] [-o FILE] [-no-verify]
+//	lbmm run -workers A1,A2,… [-workload W] [-n N] [-d D] [-alg A] [-ring R] [-seed S] [-partition modulo|balanced] [-k K] [-o FILE] [-no-verify]
 //	                        coordinate one multiplication across worker
 //	                        processes and verify the merged product against
-//	                        the in-process engine (docs/DIST.md)
+//	                        the in-process engine (docs/DIST.md); -k batches
+//	                        K value-set lanes through one shared mesh walk
 //	lbmm chaos [-cases N] [-seed S] [-verbose]
 //	                        chaos differential harness: randomized fault
 //	                        plans through both engines and all transport
@@ -185,6 +190,8 @@ func main() {
 		err = runBenchPR5(*n, *d, *iters, *outPath)
 	case "benchpr8":
 		err = runBenchPR8(*n, *d, *iters, *outPath)
+	case "benchpr9":
+		err = runBenchPR9(*n, *d, *iters, *outPath)
 	case "chaos":
 		err = runChaos(*cases, *seed, *verbose)
 	case "all":
@@ -214,7 +221,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|worker|run|fingerprint|plans|benchpr3|benchpr5|benchpr8|chaos|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|worker|run|fingerprint|plans|benchpr3|benchpr5|benchpr8|benchpr9|chaos|all> [flags]`)
 }
 
 func runTable1(scale exper.Scale, profile bool) error {

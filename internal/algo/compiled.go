@@ -149,6 +149,27 @@ func (p *Prepared) CompiledBytes() int64 {
 	return p.compiled.bytes
 }
 
+// NodeLoads returns the per-node real-message loads of the prepared
+// multiplication's compiled pipeline: send[v] and recv[v] are exactly the
+// Stats.SendLoad[v]/RecvLoad[v] any execution of this structure will charge
+// — rounds are a function of the structure only, so the loads are a
+// compile-time property and need no execution. The load-aware partition
+// balancer (internal/dist) consumes them. Returns nils when no compiled
+// form exists (map-only algorithms).
+func (p *Prepared) NodeLoads() (send, recv []int64) {
+	cp := p.compiled
+	if cp == nil {
+		return nil, nil
+	}
+	send = make([]int64, p.Inst.N)
+	recv = make([]int64, p.Inst.N)
+	for _, cb := range cp.phase1 {
+		cb.AddNodeLoads(send, recv)
+	}
+	cp.few.AddNodeLoads(send, recv)
+	return send, recv
+}
+
 // multiplyCompiled is MultiplyWith on the compiled engine.
 func (p *Prepared) multiplyCompiled(a, b *matrix.Sparse, mopts ...lbm.Option) (*matrix.Sparse, *Result, error) {
 	cp := p.compiled

@@ -70,13 +70,15 @@ func (r *DiffResult) Summary() string {
 }
 
 // diffCase is one randomized draw: a prepared structure, values, and an
-// armed-or-quiet fault plan.
+// armed-or-quiet fault plan. as/bs are the batched lanes (lane 0 is a/b; the
+// extra lanes exercise the lane-strided walk against per-lane references).
 type diffCase struct {
-	label string
-	prep  *algo.Prepared
-	a, b  *matrix.Sparse
-	plan  FaultPlan
-	armed bool
+	label  string
+	prep   *algo.Prepared
+	a, b   *matrix.Sparse
+	as, bs []*matrix.Sparse
+	plan   FaultPlan
+	armed  bool
 }
 
 // Differential runs the chaos differential harness: every case first
@@ -93,7 +95,10 @@ type diffCase struct {
 // TCP mesh (one shared trio of dist.Mesh endpoints, reused for every case —
 // faults strike before any frame leaves a sender, so a detection leaves the
 // sockets clean). Products, merged statistics and typed fault provenance
-// must all be identical to the nil-transport engines.
+// must all be identical to the nil-transport engines. A batched leg widens
+// the same plan to three value-set lanes and requires the single lane-strided
+// walk — nil transport, loopback and mesh alike — to reproduce every lane's
+// scalar product exactly.
 func Differential(cfg DiffConfig) *DiffResult {
 	cases := cfg.Cases
 	if cases <= 0 {
@@ -164,6 +169,11 @@ func drawCase(c int, rng *rand.Rand) (*diffCase, error) {
 	dc.prep = prep
 	dc.a = matrix.Random(prep.Inst.Ahat, r, rng.Int63())
 	dc.b = matrix.Random(prep.Inst.Bhat, r, rng.Int63())
+	dc.as, dc.bs = []*matrix.Sparse{dc.a}, []*matrix.Sparse{dc.b}
+	for l := 1; l < 3; l++ {
+		dc.as = append(dc.as, matrix.Random(prep.Inst.Ahat, r, rng.Int63()))
+		dc.bs = append(dc.bs, matrix.Random(prep.Inst.Bhat, r, rng.Int63()))
+	}
 	dc.plan, dc.armed = drawPlan(rng, prep.Inst.N)
 	return dc, nil
 }
@@ -225,6 +235,23 @@ func runEngine(dc *diffCase, e algo.Engine, inj lbm.Injector, t lbm.Transport) (
 	return x, res.Stats, nil
 }
 
+// runEngineBatch is runEngine over the case's batched lanes: one k-lane
+// walk through the shared plan instead of k scalar walks.
+func runEngineBatch(dc *diffCase, e algo.Engine, inj lbm.Injector, t lbm.Transport) ([]*matrix.Sparse, lbm.Stats, error) {
+	var mopts []lbm.Option
+	if inj != nil {
+		mopts = append(mopts, lbm.WithInjector(inj))
+	}
+	if t != nil {
+		mopts = append(mopts, lbm.WithTransport(t))
+	}
+	xs, res, err := dc.prep.MultiplyBatchOn(e, dc.as, dc.bs, mopts...)
+	if err != nil {
+		return nil, lbm.Stats{}, err
+	}
+	return xs, res.Stats, nil
+}
+
 // runMesh executes the compiled engine on every rank of the TCP trio at
 // once (the injector is a read-only hash, safe to share). It returns either
 // the merged product and merged statistics, or — when every rank detected
@@ -265,6 +292,55 @@ func runMesh(dc *diffCase, meshes []*dist.Mesh, inj lbm.Injector) (*matrix.Spars
 		for i, row := range x.Rows {
 			for _, c := range row {
 				merged.Set(i, int(c.Col), c.Val)
+			}
+		}
+	}
+	return merged, lbm.MergeStats(stats...), nil
+}
+
+// runMeshBatch is runMesh over the case's batched lanes: every rank walks
+// the plan once with k lanes, and the disjoint per-rank partials merge lane
+// for lane.
+func runMeshBatch(dc *diffCase, meshes []*dist.Mesh, inj lbm.Injector) ([]*matrix.Sparse, lbm.Stats, error) {
+	n := len(meshes)
+	outs := make([][]*matrix.Sparse, n)
+	stats := make([]lbm.Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for rk := range meshes {
+		wg.Add(1)
+		go func(rk int) {
+			defer wg.Done()
+			outs[rk], stats[rk], errs[rk] = runEngineBatch(dc, algo.EngineCompiled, inj, meshes[rk])
+		}(rk)
+	}
+	wg.Wait()
+
+	if errs[0] != nil {
+		f0, ok := lbm.AsFault(errs[0])
+		for rk := 1; rk < n; rk++ {
+			f, okk := lbm.AsFault(errs[rk])
+			if !ok || !okk || *f != *f0 {
+				return nil, lbm.Stats{}, fmt.Errorf("batched mesh ranks diverged: rank 0 %v, rank %d %v", errs[0], rk, errs[rk])
+			}
+		}
+		return nil, lbm.Stats{}, errs[0]
+	}
+	for rk := 1; rk < n; rk++ {
+		if errs[rk] != nil {
+			return nil, lbm.Stats{}, fmt.Errorf("batched mesh ranks diverged: rank 0 clean, rank %d %v", rk, errs[rk])
+		}
+	}
+	merged := make([]*matrix.Sparse, len(dc.as))
+	for l := range merged {
+		merged[l] = matrix.NewSparse(dc.a.N, dc.a.R)
+	}
+	for _, xs := range outs {
+		for l, x := range xs {
+			for i, row := range x.Rows {
+				for _, c := range row {
+					merged[l].Set(i, int(c.Col), c.Val)
+				}
 			}
 		}
 	}
@@ -325,6 +401,60 @@ func runCase(res *DiffResult, c int, dc *diffCase, meshes []*dist.Mesh, logf fun
 		}
 		if !reflect.DeepEqual(stTCP, stComp) {
 			fail("merged tcp stats differ from the nil-transport stats: %+v vs %+v", stTCP, stComp)
+			return
+		}
+	}
+
+	// Phase 1c: batched lanes. One k-lane walk through the shared plan must
+	// be bit-identical, lane for lane, to k scalar runs — the per-lane
+	// products equal the per-lane sequential references (which phases 1 and
+	// 1b pinned to the scalar engine and transport runs), and the loopback
+	// and merged mesh statistics equal the nil-transport batched walk's.
+	wants := make([]*matrix.Sparse, len(dc.as))
+	wants[0] = want
+	for l := 1; l < len(dc.as); l++ {
+		wants[l] = matrix.MulReference(dc.as[l], dc.bs[l], dc.prep.Inst.Xhat)
+	}
+	xsB, stB, errB := runEngineBatch(dc, algo.EngineCompiled, nil, nil)
+	if errB != nil {
+		fail("batched run errored: %v", errB)
+		return
+	}
+	for l, x := range xsB {
+		if !matrix.Equal(x, wants[l]) {
+			fail("batched lane %d differs from its scalar reference", l)
+			return
+		}
+	}
+	xsBL, stBL, errBL := runEngineBatch(dc, algo.EngineCompiled, nil, &lbm.Loopback{})
+	if errBL != nil {
+		fail("batched loopback run errored: %v", errBL)
+		return
+	}
+	for l, x := range xsBL {
+		if !matrix.Equal(x, wants[l]) {
+			fail("batched loopback lane %d differs from its scalar reference", l)
+			return
+		}
+	}
+	if !reflect.DeepEqual(stBL, stB) {
+		fail("batched loopback stats differ from the nil-transport batched stats: %+v vs %+v", stBL, stB)
+		return
+	}
+	if meshes != nil {
+		xsBM, stBM, errBM := runMeshBatch(dc, meshes, nil)
+		if errBM != nil {
+			fail("batched tcp mesh run errored: %v", errBM)
+			return
+		}
+		for l, x := range xsBM {
+			if !matrix.Equal(x, wants[l]) {
+				fail("batched tcp mesh lane %d differs from its scalar reference", l)
+				return
+			}
+		}
+		if !reflect.DeepEqual(stBM, stB) {
+			fail("merged batched tcp stats differ from the nil-transport batched stats: %+v vs %+v", stBM, stB)
 			return
 		}
 	}

@@ -193,6 +193,12 @@ func (cb *CompiledBatch) MemoryBytes() int64 {
 	return cb.strassen.MemoryBytes() + cb.cube.MemoryBytes()
 }
 
+// AddNodeLoads accumulates the batch's per-node real-message loads.
+func (cb *CompiledBatch) AddNodeLoads(send, recv []int64) {
+	cb.strassen.AddNodeLoads(send, recv)
+	cb.cube.AddNodeLoads(send, recv)
+}
+
 // Run executes a compiled batch, mirroring PlannedBatch.Run.
 func (cb *CompiledBatch) Run(x *lbm.Exec) error {
 	if cb.strassen != nil {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"lbmm/internal/matrix"
+	"lbmm/internal/ring"
+	"lbmm/internal/workload"
+)
+
+// TestNodeLoadsMatchExecutedStats pins the compile-time load profile against
+// ground truth: the per-node send/receive counts NodeLoads derives from the
+// compiled instruction streams must equal the SendLoad/RecvLoad an actual
+// execution records. Loads are a function of structure only, so one value
+// set suffices.
+func TestNodeLoadsMatchExecutedStats(t *testing.T) {
+	for _, tc := range []struct {
+		alg string
+		wl  string
+	}{
+		{"lemma31", "blocks"},
+		{"lemma31", "powerlaw"},
+		{"theorem42", "blocks"},
+		{"theorem42", "powerlaw"},
+	} {
+		t.Run(tc.alg+"/"+tc.wl, func(t *testing.T) {
+			inst := workload.Blocks(32, 3)
+			if tc.wl == "powerlaw" {
+				inst = workload.PowerLaw(32, 3, 42)
+			}
+			r := ring.Counting{}
+			prep, err := Prepare(inst.Ahat, inst.Bhat, inst.Xhat, Options{
+				Ring: r, D: 3, Algorithm: tc.alg, Engine: "compiled",
+			})
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			send, recv := prep.NodeLoads()
+			if send == nil || recv == nil {
+				t.Fatal("compiled plan reports no load profile")
+			}
+			a := matrix.Random(inst.Ahat, r, 1)
+			b := matrix.Random(inst.Bhat, r, 2)
+			_, rep, err := prep.Multiply(a, b)
+			if err != nil {
+				t.Fatalf("multiply: %v", err)
+			}
+			if len(send) != len(rep.Stats.SendLoad) || len(recv) != len(rep.Stats.RecvLoad) {
+				t.Fatalf("load profile covers %d/%d nodes, execution recorded %d/%d",
+					len(send), len(recv), len(rep.Stats.SendLoad), len(rep.Stats.RecvLoad))
+			}
+			for v := range send {
+				if send[v] != rep.Stats.SendLoad[v] {
+					t.Errorf("node %d: profiled send load %d, executed %d", v, send[v], rep.Stats.SendLoad[v])
+				}
+				if recv[v] != rep.Stats.RecvLoad[v] {
+					t.Errorf("node %d: profiled recv load %d, executed %d", v, recv[v], rep.Stats.RecvLoad[v])
+				}
+			}
+		})
+	}
+}
+
+// TestNodeLoadsEngineIndependent pins that the load profile is a property
+// of the compiled structure, not the engine choice: a map-engine
+// preparation still compiles the plan, so both engines report the identical
+// profile.
+func TestNodeLoadsEngineIndependent(t *testing.T) {
+	inst := workload.Blocks(16, 2)
+	mk := func(engine string) (sendLoads, recvLoads []int64) {
+		prep, err := Prepare(inst.Ahat, inst.Bhat, inst.Xhat, Options{
+			Ring: ring.Counting{}, D: 2, Engine: engine,
+		})
+		if err != nil {
+			t.Fatalf("prepare %s: %v", engine, err)
+		}
+		return prep.NodeLoads()
+	}
+	sendMap, recvMap := mk("map")
+	sendComp, recvComp := mk("compiled")
+	if sendMap == nil || sendComp == nil {
+		t.Fatal("an engine reported no load profile")
+	}
+	for v := range sendComp {
+		if sendMap[v] != sendComp[v] || recvMap[v] != recvComp[v] {
+			t.Fatalf("node %d: map engine profile (%d,%d) differs from compiled (%d,%d)",
+				v, sendMap[v], recvMap[v], sendComp[v], recvComp[v])
+		}
+	}
+}

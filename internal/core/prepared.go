@@ -94,6 +94,19 @@ func (p *Prepared) CompiledBytes() int64 {
 	return p.inner.CompiledBytes()
 }
 
+// NodeLoads returns the per-node real-message loads recorded in the
+// compiled plans' stats profile: send[v]/recv[v] equal the SendLoad[v]/
+// RecvLoad[v] every execution of this structure charges, derived from the
+// instruction streams without running anything. Load-aware partitioning
+// (internal/dist, docs/DIST.md) bins nodes by these loads. Nil when the
+// prepared form has no compiled twin.
+func (p *Prepared) NodeLoads() (send, recv []int64) {
+	if p == nil || p.inner == nil {
+		return nil, nil
+	}
+	return p.inner.NodeLoads()
+}
+
 // Multiply executes the prepared plans on one value set. The values must
 // lie within the prepared structure; positions of the structure without a
 // value are ring zeros. Multiply is safe for concurrent use: the prepared

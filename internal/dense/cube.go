@@ -392,6 +392,16 @@ func (ccp *CompiledCubeProgram) MemoryBytes() int64 {
 		int64(len(ccp.prods))*24 + int64(len(ccp.cleanup))*8
 }
 
+// AddNodeLoads accumulates the program's per-node real-message loads
+// (distribute and aggregate phases; local products move no messages).
+func (ccp *CompiledCubeProgram) AddNodeLoads(send, recv []int64) {
+	if ccp == nil {
+		return
+	}
+	ccp.dist.AddNodeLoads(send, recv)
+	ccp.agg.AddNodeLoads(send, recv)
+}
+
 // Run executes the compiled cube program, mirroring RunCubeJobsWith phase
 // for phase.
 func (ccp *CompiledCubeProgram) Run(x *lbm.Exec) error {

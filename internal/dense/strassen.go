@@ -723,6 +723,23 @@ func (csp *CompiledStrassenProgram) MemoryBytes() int64 {
 	return n + int64(len(csp.cleanup))*8
 }
 
+// AddNodeLoads accumulates the program's per-node real-message loads over
+// every communication phase (init, down sweeps, up sweeps, final); leaf
+// products are local work and move no messages.
+func (csp *CompiledStrassenProgram) AddNodeLoads(send, recv []int64) {
+	if csp == nil {
+		return
+	}
+	csp.init.AddNodeLoads(send, recv)
+	for _, cp := range csp.down {
+		cp.AddNodeLoads(send, recv)
+	}
+	for _, cp := range csp.up {
+		cp.AddNodeLoads(send, recv)
+	}
+	csp.final.AddNodeLoads(send, recv)
+}
+
 // Run executes the compiled Strassen program, mirroring RunStrassenJobsWith
 // phase for phase.
 func (csp *CompiledStrassenProgram) Run(x *lbm.Exec) error {

@@ -13,6 +13,13 @@ import (
 	"lbmm/internal/matrix"
 )
 
+// PartitionModulo and PartitionBalanced name the partition strategies a
+// coordinated run can request (RunConfig.Partition, `lbmm run -partition`).
+const (
+	PartitionModulo   = "modulo"
+	PartitionBalanced = "balanced"
+)
+
 // RunConfig describes one coordinated distributed multiplication.
 type RunConfig struct {
 	// Workers are the worker addresses; worker i runs rank i. At least 2.
@@ -21,10 +28,19 @@ type RunConfig struct {
 	// the envelope only carries the compiled form).
 	Prep *core.Prepared
 	// A, B are the value sets; N their dimension; Ring the semiring name
-	// the workers resolve (matrix.RingByName).
-	A, B *matrix.Sparse
-	N    int
-	Ring string
+	// the workers resolve (matrix.RingByName). For a batched run set As/Bs
+	// instead: lane l computes As[l]·Bs[l] through one shared mesh walk.
+	// Exactly one of (A, B) and (As, Bs) must be set.
+	A, B   *matrix.Sparse
+	As, Bs []*matrix.Sparse
+	N      int
+	Ring   string
+	// Partition selects node ownership: "" or PartitionModulo for the
+	// node-count map, PartitionBalanced to bin nodes by the per-node
+	// SendLoad/RecvLoad of the compiled plan (greedy LPT, BalancedTable).
+	// Table, when non-nil, overrides both with an explicit assignment.
+	Partition string
+	Table     []uint16
 	// Job names the run on the wire; "" draws a random ID.
 	Job string
 	// DialTimeout bounds the per-worker dial retry window (0 means 15s);
@@ -35,15 +51,23 @@ type RunConfig struct {
 
 // RunResult is the merged outcome of a distributed multiplication.
 type RunResult struct {
-	// X is the full product, merged from the disjoint per-rank partials.
-	X *matrix.Sparse
+	// X is the full product of lane 0, merged from the disjoint per-rank
+	// partials; Xs holds every lane of a batched run (len 1 otherwise).
+	X  *matrix.Sparse
+	Xs []*matrix.Sparse
 	// Stats is the whole-run view (lbm.MergeStats over the partitions);
 	// PerRank keeps each worker's own partition.
 	Stats   lbm.Stats
 	PerRank []lbm.Stats
-	// Counters sums every worker's transport counters (net/bytes_sent,
-	// net/round_ns, net/flushes).
-	Counters map[string]int64
+	// Counters sums every worker's transport and plan-cache counters
+	// (net/bytes_sent, net/round_ns, net/flushes, dist/plan_hits,
+	// dist/plan_misses); PerRankCounters keeps each worker's own set, so a
+	// caller can see the per-rank communication balance the partition
+	// achieved.
+	Counters        map[string]int64
+	PerRankCounters []map[string]int64
+	// Table is the node→rank assignment the run used (nil = modulo).
+	Table []uint16
 }
 
 // Run coordinates one distributed multiplication: it ships the prepared
@@ -55,11 +79,40 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if len(cfg.Workers) < 2 {
 		return nil, fmt.Errorf("dist: a distributed run needs at least 2 workers, got %d", len(cfg.Workers))
 	}
-	if cfg.Prep == nil || cfg.A == nil || cfg.B == nil {
-		return nil, fmt.Errorf("dist: run needs a prepared plan and both value sets")
+	as, bs := cfg.As, cfg.Bs
+	if cfg.A != nil || cfg.B != nil {
+		if as != nil || bs != nil {
+			return nil, fmt.Errorf("dist: run takes either A/B or As/Bs, not both")
+		}
+		as, bs = []*matrix.Sparse{cfg.A}, []*matrix.Sparse{cfg.B}
+	}
+	if cfg.Prep == nil || len(as) == 0 || len(as) != len(bs) {
+		return nil, fmt.Errorf("dist: run needs a prepared plan and matching value-set lanes")
+	}
+	for l := range as {
+		if as[l] == nil || bs[l] == nil {
+			return nil, fmt.Errorf("dist: run lane %d is missing a value set", l)
+		}
 	}
 	r, err := matrix.RingByName(cfg.Ring)
 	if err != nil {
+		return nil, err
+	}
+	table := cfg.Table
+	if table == nil {
+		switch cfg.Partition {
+		case "", PartitionModulo:
+		case PartitionBalanced:
+			send, recv := cfg.Prep.NodeLoads()
+			if send == nil {
+				return nil, fmt.Errorf("dist: balanced partition needs a compiled plan with a load profile")
+			}
+			table = BalancedTable(send, recv, len(cfg.Workers))
+		default:
+			return nil, fmt.Errorf("dist: unknown partition %q (want %q or %q)", cfg.Partition, PartitionModulo, PartitionBalanced)
+		}
+	}
+	if err := ValidateTable(table, len(cfg.Workers)); err != nil {
 		return nil, err
 	}
 	job := cfg.Job
@@ -83,7 +136,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if err := cfg.Prep.Encode(&plan); err != nil {
 		return nil, err
 	}
-	aVals, bVals := entriesOf(cfg.A), entriesOf(cfg.B)
+	fp, err := cfg.Prep.Fingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("dist: plan fingerprint: %w", err)
+	}
+	aVals := make([][]wireVal, len(as))
+	bVals := make([][]wireVal, len(bs))
+	for l := range as {
+		aVals[l], bVals[l] = entriesOf(as[l]), entriesOf(bs[l])
+	}
 
 	workers := len(cfg.Workers)
 	results := make([]*resultFrame, workers)
@@ -93,7 +154,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		wg.Add(1)
 		go func(rk int, addr string) {
 			defer wg.Done()
-			results[rk], errs[rk] = runRank(cfg, job, rk, addr, plan.Bytes(), aVals, bVals, dialTO, resultTO)
+			results[rk], errs[rk] = runRank(cfg, job, rk, addr, table, fp, plan.Bytes(), aVals, bVals, dialTO, resultTO)
 		}(rk, addr)
 	}
 	wg.Wait()
@@ -130,25 +191,37 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 
 	out := &RunResult{
-		X:        matrix.NewSparse(cfg.N, r),
-		PerRank:  make([]lbm.Stats, workers),
-		Counters: make(map[string]int64),
+		Xs:              make([]*matrix.Sparse, len(as)),
+		PerRank:         make([]lbm.Stats, workers),
+		Counters:        make(map[string]int64),
+		PerRankCounters: make([]map[string]int64, workers),
+		Table:           table,
+	}
+	for l := range out.Xs {
+		out.Xs[l] = matrix.NewSparse(cfg.N, r)
 	}
 	for rk, rf := range results {
-		for _, e := range rf.X {
-			out.X.Set(int(e.I), int(e.J), e.V)
+		if len(rf.X) != len(as) {
+			return nil, fmt.Errorf("dist: rank %d returned %d lanes, want %d", rk, len(rf.X), len(as))
+		}
+		for l, lane := range rf.X {
+			for _, e := range lane {
+				out.Xs[l].Set(int(e.I), int(e.J), e.V)
+			}
 		}
 		out.PerRank[rk] = rf.Stats
+		out.PerRankCounters[rk] = rf.Counters
 		for k, v := range rf.Counters {
 			out.Counters[k] += v
 		}
 	}
+	out.X = out.Xs[0]
 	out.Stats = lbm.MergeStats(out.PerRank...)
 	return out, nil
 }
 
 // runRank ships the job to one worker and reads back its partial result.
-func runRank(cfg RunConfig, job string, rk int, addr string, plan []byte, aVals, bVals []wireVal, dialTO, resultTO time.Duration) (*resultFrame, error) {
+func runRank(cfg RunConfig, job string, rk int, addr string, table []uint16, fp string, plan []byte, aVals, bVals [][]wireVal, dialTO, resultTO time.Duration) (*resultFrame, error) {
 	conn, err := dialRetry(addr, dialTO)
 	if err != nil {
 		return nil, err
@@ -158,15 +231,17 @@ func runRank(cfg RunConfig, job string, rk int, addr string, plan []byte, aVals,
 		return nil, err
 	}
 	jf := jobFrame{
-		Job:      job,
-		Rank:     rk,
-		Workers:  len(cfg.Workers),
-		Peers:    cfg.Workers,
-		Ring:     cfg.Ring,
-		N:        cfg.N,
-		Prepared: plan,
-		A:        aVals,
-		B:        bVals,
+		Job:         job,
+		Rank:        rk,
+		Workers:     len(cfg.Workers),
+		Peers:       cfg.Workers,
+		Table:       table,
+		Ring:        cfg.Ring,
+		N:           cfg.N,
+		Fingerprint: fp,
+		Prepared:    plan,
+		A:           aVals,
+		B:           bVals,
 	}
 	if err := writeFrame(conn, &jf); err != nil {
 		return nil, err

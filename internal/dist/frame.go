@@ -100,27 +100,35 @@ type roundFrame struct {
 }
 
 // jobFrame assigns one worker its rank in a distributed multiplication. The
-// plan ships as a core.Prepared envelope; values ship as entry lists. Peers
-// holds every worker's dialable address, indexed by rank.
+// plan ships as a core.Prepared envelope addressed by its content
+// fingerprint — a worker holding Fingerprint in its plan cache skips the
+// envelope decode (and a coordinator that knows its workers are warm may
+// omit the envelope entirely). Values ship as per-lane entry lists: A[l]
+// and B[l] are lane l of a batched multiplication (one lane is the scalar
+// run). Peers holds every worker's dialable address, indexed by rank;
+// Table, when non-empty, is the explicit node→rank partition every
+// participant must share (empty = the modulo map).
 type jobFrame struct {
-	Job      string
-	Rank     int
-	Workers  int
-	Peers    []string
-	Ring     string
-	N        int
-	Prepared []byte
-	A, B     []wireVal
+	Job         string
+	Rank        int
+	Workers     int
+	Peers       []string
+	Table       []uint16
+	Ring        string
+	N           int
+	Fingerprint string
+	Prepared    []byte
+	A, B        [][]wireVal
 }
 
 // resultFrame is a worker's reply to its jobFrame: the output entries its
-// rank owns, its partition of the run statistics, and its transport
-// counters. A typed fault travels as Fault (provenance intact for the
-// chaos differential); any other failure as Err.
+// rank owns (lane for lane), its partition of the run statistics, and its
+// transport + plan-cache counters. A typed fault travels as Fault
+// (provenance intact for the chaos differential); any other failure as Err.
 type resultFrame struct {
 	Job      string
 	Rank     int
-	X        []wireVal
+	X        [][]wireVal
 	Stats    lbm.Stats
 	Counters map[string]int64
 	Fault    *lbm.ErrFault

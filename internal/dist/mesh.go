@@ -26,20 +26,6 @@ const (
 	CounterFlushes = "net/flushes"
 )
 
-// Partition is the node-ownership map of a distributed execution: node v
-// lives on rank int(v) mod Workers. Every participant derives the same map
-// from the pair, so ownership never travels on the wire.
-type Partition struct {
-	Workers int
-	Rank    int
-}
-
-// Owns reports whether node v's store lives on this rank.
-func (p Partition) Owns(v lbm.NodeID) bool { return int(v)%p.Workers == p.Rank }
-
-// RankOf returns the rank owning node v.
-func (p Partition) RankOf(v lbm.NodeID) int { return int(v) % p.Workers }
-
 // peerLink is one persistent connection to a fellow participant, reused for
 // every round of the execution.
 type peerLink struct {
@@ -61,6 +47,11 @@ type Mesh struct {
 	out      [][]wireMsg // queued sends per destination rank
 	inbox    map[lbm.NodeID][]ring.Value
 	counters *obsv.CounterSet
+	// dead is the sticky lifecycle error: once a Deliver fails, the mesh's
+	// stream positions are undefined (peers may hold unread or half-written
+	// round frames), so every later Send/Deliver fails fast with the
+	// original error instead of desyncing on a confusing round tag.
+	dead error
 
 	// ReadTimeout bounds the wait for each peer's round frame inside
 	// Deliver; 0 waits forever. It is the rescue path when a peer dies
@@ -73,6 +64,9 @@ type Mesh struct {
 func NewMesh(part Partition, conns []net.Conn, counters *obsv.CounterSet) (*Mesh, error) {
 	if part.Workers < 1 || part.Rank < 0 || part.Rank >= part.Workers {
 		return nil, fmt.Errorf("dist: invalid partition rank %d of %d", part.Rank, part.Workers)
+	}
+	if err := ValidateTable(part.Table, part.Workers); err != nil {
+		return nil, err
 	}
 	if len(conns) != part.Workers {
 		return nil, fmt.Errorf("dist: rank %d: got %d peer connections, want %d", part.Rank, len(conns), part.Workers)
@@ -114,11 +108,20 @@ func (m *Mesh) Owns(v lbm.NodeID) bool { return m.part.Owns(v) }
 
 // Send implements lbm.Transport: self-owned destinations go straight to the
 // inbox (no wire), everything else queues for its owner's rank until the
-// Deliver barrier.
+// Deliver barrier. A second payload for an already-stashed self-owned
+// destination violates the one-receive-per-round contract and returns an
+// error wrapping lbm.ErrDuplicateDelivery (remote duplicates are caught at
+// the receiving rank's Deliver).
 func (m *Mesh) Send(round int, dst lbm.NodeID, payload []ring.Value) error {
+	if m.dead != nil {
+		return fmt.Errorf("dist: rank %d: send on a dead mesh: %w", m.part.Rank, m.dead)
+	}
 	if m.part.Owns(dst) {
 		if m.inbox == nil {
 			m.inbox = make(map[lbm.NodeID][]ring.Value)
+		}
+		if _, dup := m.inbox[dst]; dup {
+			return fmt.Errorf("dist: rank %d: round %d, node %d: %w", m.part.Rank, round, dst, lbm.ErrDuplicateDelivery)
 		}
 		m.inbox[dst] = payload
 		return nil
@@ -132,7 +135,17 @@ func (m *Mesh) Send(round int, dst lbm.NodeID, payload []ring.Value) error {
 // (concurrently, so large frames cannot write-write deadlock the mesh),
 // reads one from every peer, verifies the round tags, and hands back the
 // payloads addressed to locally-owned nodes.
+//
+// Error lifecycle: an early error no longer abandons the remaining peers —
+// their round frames are still read (drained), so no frame lingers in a
+// stream buffer. Any Deliver error additionally marks the mesh dead: the
+// streams' positions are no longer trustworthy, so every later Send or
+// Deliver fails fast with the original error instead of desyncing the next
+// round with a confusing round-tag mismatch.
 func (m *Mesh) Deliver(round int) (map[lbm.NodeID][]ring.Value, error) {
+	if m.dead != nil {
+		return nil, fmt.Errorf("dist: rank %d: deliver on a dead mesh: %w", m.part.Rank, m.dead)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	werrs := make([]error, len(m.peers))
@@ -157,7 +170,9 @@ func (m *Mesh) Deliver(round int) (map[lbm.NodeID][]ring.Value, error) {
 	m.inbox = nil
 	var rerr error
 	for rk, pl := range m.peers {
-		if pl == nil || rerr != nil {
+		// Keep reading after an error: every peer wrote exactly one round
+		// frame, and leaving it buffered would poison a reuse of the mesh.
+		if pl == nil {
 			continue
 		}
 		if m.ReadTimeout > 0 {
@@ -165,16 +180,27 @@ func (m *Mesh) Deliver(round int) (map[lbm.NodeID][]ring.Value, error) {
 		}
 		var f roundFrame
 		if err := readFrame(pl.r, &f); err != nil {
-			rerr = fmt.Errorf("dist: rank %d: reading round %d from rank %d: %w", m.part.Rank, round, rk, err)
+			if rerr == nil {
+				rerr = fmt.Errorf("dist: rank %d: reading round %d from rank %d: %w", m.part.Rank, round, rk, err)
+			}
 			continue
 		}
 		if int(f.Round) != round {
-			rerr = fmt.Errorf("dist: rank %d: peer rank %d answered round %d during round %d", m.part.Rank, rk, f.Round, round)
+			if rerr == nil {
+				rerr = fmt.Errorf("dist: rank %d: peer rank %d answered round %d during round %d", m.part.Rank, rk, f.Round, round)
+			}
 			continue
 		}
 		for _, msg := range f.Msgs {
 			if in == nil {
 				in = make(map[lbm.NodeID][]ring.Value)
+			}
+			if _, dup := in[lbm.NodeID(msg.Dst)]; dup {
+				if rerr == nil {
+					rerr = fmt.Errorf("dist: rank %d: round %d, node %d (from rank %d): %w",
+						m.part.Rank, round, msg.Dst, rk, lbm.ErrDuplicateDelivery)
+				}
+				continue
 			}
 			in[lbm.NodeID(msg.Dst)] = msg.Vals
 		}
@@ -190,10 +216,14 @@ func (m *Mesh) Deliver(round int) (map[lbm.NodeID][]ring.Value, error) {
 	}
 	m.counters.Add(CounterRoundNS, time.Since(start).Nanoseconds())
 	if rerr != nil {
+		m.dead = rerr
 		return nil, rerr
 	}
 	return in, nil
 }
+
+// Err returns the sticky lifecycle error, nil while the mesh is usable.
+func (m *Mesh) Err() error { return m.dead }
 
 // Close closes every peer connection.
 func (m *Mesh) Close() error {
@@ -228,6 +258,13 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // axis, and the package tests. The returned stop function closes every
 // connection.
 func NewLocalMesh(workers int) ([]*Mesh, func(), error) {
+	return NewLocalMeshTable(workers, nil)
+}
+
+// NewLocalMeshTable is NewLocalMesh with an explicit node→rank assignment
+// table shared by every endpoint (nil for the modulo map) — the backend of
+// `lbmm benchpr9`'s partition comparison.
+func NewLocalMeshTable(workers int, table []uint16) ([]*Mesh, func(), error) {
 	if workers < 2 {
 		return nil, nil, fmt.Errorf("dist: a local mesh needs at least 2 participants, got %d", workers)
 	}
@@ -279,7 +316,7 @@ func NewLocalMesh(workers int) ([]*Mesh, func(), error) {
 	}
 	meshes := make([]*Mesh, workers)
 	for rk := 0; rk < workers; rk++ {
-		m, err := NewMesh(Partition{Workers: workers, Rank: rk}, conns[rk], nil)
+		m, err := NewMesh(Partition{Workers: workers, Rank: rk, Table: table}, conns[rk], nil)
 		if err != nil {
 			stop()
 			return nil, nil, err

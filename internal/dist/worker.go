@@ -25,6 +25,14 @@ type WorkerOptions struct {
 	// ReadTimeout is the mesh's per-round barrier deadline. 0 means the
 	// Mesh default (60s).
 	ReadTimeout time.Duration
+	// ParkTTL bounds how long an unclaimed inbound peer connection may sit
+	// parked: a job that never forms (failed mesh, dead coordinator) must
+	// not leak fds for the worker's lifetime. 0 means 2×PeerTimeout.
+	ParkTTL time.Duration
+	// PlanCache is the number of decoded prepared plans kept in the
+	// worker's fingerprint-keyed LRU; repeat jobs on a warm worker skip the
+	// envelope decode (dist/plan_hits). 0 means 16; negative disables.
+	PlanCache int
 }
 
 func (o WorkerOptions) logf(format string, args ...any) {
@@ -40,14 +48,43 @@ func (o WorkerOptions) peerTimeout() time.Duration {
 	return 30 * time.Second
 }
 
+func (o WorkerOptions) parkTTL() time.Duration {
+	if o.ParkTTL > 0 {
+		return o.ParkTTL
+	}
+	return 2 * o.peerTimeout()
+}
+
+func (o WorkerOptions) planCacheSize() int {
+	switch {
+	case o.PlanCache > 0:
+		return o.PlanCache
+	case o.PlanCache < 0:
+		return 0
+	}
+	return 16
+}
+
 // worker is the per-process state shared by all connections: peer
 // connections that arrived before their job claims them, parked by
-// (job, rank).
+// (job, rank), and the fingerprint-keyed plan cache shared by all jobs.
 type worker struct {
 	opts   WorkerOptions
 	mu     sync.Mutex
 	cond   *sync.Cond
 	parked map[string]map[int]net.Conn
+	plans  *planCache
+}
+
+// newWorker builds the per-process worker state.
+func newWorker(opts WorkerOptions) *worker {
+	w := &worker{
+		opts:   opts,
+		parked: make(map[string]map[int]net.Conn),
+		plans:  newPlanCache(opts.planCacheSize()),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
 }
 
 // ListenAndServe runs a worker on addr until the listener fails. The worker
@@ -65,8 +102,10 @@ func ListenAndServe(addr string, opts WorkerOptions) error {
 // Serve runs a worker on an existing listener (tests use in-process
 // listeners on port 0).
 func Serve(l net.Listener, opts WorkerOptions) error {
-	w := &worker{opts: opts, parked: make(map[string]map[int]net.Conn)}
-	w.cond = sync.NewCond(&w.mu)
+	return newWorker(opts).serve(l)
+}
+
+func (w *worker) serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -102,7 +141,11 @@ func (w *worker) handle(conn net.Conn) {
 	}
 }
 
-// park stores an inbound peer connection for its job to claim.
+// park stores an inbound peer connection for its job to claim, and arms a
+// TTL sweep for it: a parked connection whose job never claims it — mesh
+// formation failed on another rank, or the coordinator died after the peers
+// dialed — would otherwise hold its fd and its parked[job] map entry for
+// the worker's whole lifetime.
 func (w *worker) park(job string, rank int, conn net.Conn) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -114,6 +157,50 @@ func (w *worker) park(job string, rank int, conn net.Conn) {
 	}
 	w.parked[job][rank] = conn
 	w.cond.Broadcast()
+	time.AfterFunc(w.opts.parkTTL(), func() { w.reap(job, rank, conn) })
+}
+
+// reap closes and forgets one parked connection if it is still the one
+// parked under (job, rank) — a claim or a newer park already removed or
+// replaced it otherwise.
+func (w *worker) reap(job string, rank int, conn net.Conn) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := w.parked[job]
+	if m == nil || m[rank] != conn {
+		return
+	}
+	conn.Close()
+	delete(m, rank)
+	if len(m) == 0 {
+		delete(w.parked, job)
+	}
+	w.opts.logf("job %s: reaped unclaimed peer connection from rank %d after %s", job, rank, w.opts.parkTTL())
+}
+
+// releaseJob drops every parked connection of a job — called once the
+// job's mesh has formed (leftovers are duplicate dials that will never be
+// claimed) or the job has errored (nothing will claim them). The TTL sweep
+// is only the backstop for jobs this worker never runs.
+func (w *worker) releaseJob(job string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, c := range w.parked[job] {
+		c.Close()
+	}
+	delete(w.parked, job)
+}
+
+// parkedConns reports the number of parked connections across all jobs
+// (tests assert the leak fixes).
+func (w *worker) parkedConns() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, m := range w.parked {
+		n += len(m)
+	}
+	return n
 }
 
 // claim waits for the parked peer connection of (job, rank).
@@ -137,9 +224,13 @@ func (w *worker) claim(job string, rank int, timeout time.Duration) (net.Conn, e
 	}
 }
 
-// runJob executes one distributed multiplication: decode the job, form the
-// mesh (dial lower ranks, claim higher ranks), run the prepared plan with
-// the mesh transport, and reply with this rank's partial result.
+// runJob executes one distributed multiplication: decode the job, resolve
+// the prepared plan (cache by fingerprint, else decode the envelope), form
+// the mesh (dial lower ranks, claim higher ranks), run the plan with the
+// mesh transport, and reply with this rank's partial result. Whatever the
+// outcome, the job's parked peer connections are released — once the mesh
+// has formed any leftover is a stray duplicate, and after an error nothing
+// will ever claim them.
 func (w *worker) runJob(conn net.Conn) error {
 	var jf jobFrame
 	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
@@ -147,14 +238,18 @@ func (w *worker) runJob(conn net.Conn) error {
 		return fmt.Errorf("reading job frame: %w", err)
 	}
 	conn.SetReadDeadline(time.Time{})
-	w.opts.logf("job %s: rank %d of %d, n=%d, ring %s", jf.Job, jf.Rank, jf.Workers, jf.N, jf.Ring)
+	defer w.releaseJob(jf.Job)
+	w.opts.logf("job %s: rank %d of %d, n=%d, ring %s, k=%d", jf.Job, jf.Rank, jf.Workers, jf.N, jf.Ring, len(jf.A))
 
 	rf := resultFrame{Job: jf.Job, Rank: jf.Rank}
 	counters := obsv.NewCounterSet()
-	x, stats, err := w.execute(&jf, counters)
+	xs, stats, err := w.execute(&jf, counters)
 	switch {
 	case err == nil:
-		rf.X = entriesOf(x)
+		rf.X = make([][]wireVal, len(xs))
+		for l, x := range xs {
+			rf.X[l] = entriesOf(x)
+		}
 		rf.Stats = stats
 		rf.Counters = counters.Snapshot()
 	default:
@@ -171,29 +266,73 @@ func (w *worker) runJob(conn net.Conn) error {
 	return nil
 }
 
-// execute runs the rank's share of the job and returns its partial output.
-func (w *worker) execute(jf *jobFrame, counters *obsv.CounterSet) (*matrix.Sparse, lbm.Stats, error) {
+// plan resolves the job's prepared plan: a fingerprint held in the
+// worker's cache skips the envelope decode entirely (dist/plan_hits); a
+// miss decodes the shipped envelope, cross-checks its self-address against
+// the requested fingerprint, and caches it for the next job.
+func (w *worker) plan(jf *jobFrame, counters *obsv.CounterSet) (*core.Prepared, error) {
+	if prep, ok := w.plans.get(jf.Fingerprint); ok {
+		counters.Add(CounterPlanHits, 1)
+		return prep, nil
+	}
+	counters.Add(CounterPlanMisses, 1)
+	if len(jf.Prepared) == 0 {
+		return nil, fmt.Errorf("dist: job plan %s not cached and no envelope shipped", jf.Fingerprint)
+	}
+	prep, err := core.DecodePrepared(bytes.NewReader(jf.Prepared))
+	if err != nil {
+		return nil, fmt.Errorf("dist: job plan: %w", err)
+	}
+	if jf.Fingerprint != "" {
+		fp, err := prep.Fingerprint()
+		if err != nil {
+			return nil, fmt.Errorf("dist: job plan self-address: %w", err)
+		}
+		if fp != jf.Fingerprint {
+			return nil, fmt.Errorf("dist: job plan fingerprint %s does not match the envelope's %s", jf.Fingerprint, fp)
+		}
+		w.plans.put(fp, prep)
+	}
+	return prep, nil
+}
+
+// execute runs the rank's share of the job and returns its per-lane
+// partial outputs.
+func (w *worker) execute(jf *jobFrame, counters *obsv.CounterSet) ([]*matrix.Sparse, lbm.Stats, error) {
 	var stats lbm.Stats
 	if jf.Workers < 1 || jf.Rank < 0 || jf.Rank >= jf.Workers || len(jf.Peers) != jf.Workers {
 		return nil, stats, fmt.Errorf("dist: malformed job: rank %d of %d with %d peers", jf.Rank, jf.Workers, len(jf.Peers))
 	}
-	prep, err := core.DecodePrepared(bytes.NewReader(jf.Prepared))
+	if len(jf.A) == 0 || len(jf.A) != len(jf.B) {
+		return nil, stats, fmt.Errorf("dist: malformed job: %d A lanes, %d B lanes", len(jf.A), len(jf.B))
+	}
+	if len(jf.Table) > 0 && len(jf.Table) != jf.N {
+		return nil, stats, fmt.Errorf("dist: malformed job: partition table covers %d of %d nodes", len(jf.Table), jf.N)
+	}
+	if err := ValidateTable(jf.Table, jf.Workers); err != nil {
+		return nil, stats, err
+	}
+	prep, err := w.plan(jf, counters)
 	if err != nil {
-		return nil, stats, fmt.Errorf("dist: job plan: %w", err)
+		return nil, stats, err
 	}
 	r, err := matrix.RingByName(jf.Ring)
 	if err != nil {
 		return nil, stats, err
 	}
-	a := sparseFrom(jf.N, r, jf.A)
-	b := sparseFrom(jf.N, r, jf.B)
+	as := make([]*matrix.Sparse, len(jf.A))
+	bs := make([]*matrix.Sparse, len(jf.B))
+	for l := range jf.A {
+		as[l] = sparseFrom(jf.N, r, jf.A[l])
+		bs[l] = sparseFrom(jf.N, r, jf.B[l])
+	}
 
 	conns, err := w.meshConns(jf)
 	if err != nil {
 		closeConns(conns)
 		return nil, stats, err
 	}
-	mesh, err := NewMesh(Partition{Workers: jf.Workers, Rank: jf.Rank}, conns, counters)
+	mesh, err := NewMesh(Partition{Workers: jf.Workers, Rank: jf.Rank, Table: jf.Table}, conns, counters)
 	if err != nil {
 		closeConns(conns)
 		return nil, stats, err
@@ -202,11 +341,18 @@ func (w *worker) execute(jf *jobFrame, counters *obsv.CounterSet) (*matrix.Spars
 	if w.opts.ReadTimeout > 0 {
 		mesh.ReadTimeout = w.opts.ReadTimeout
 	}
-	x, rep, err := prep.MultiplyOpts(a, b, core.ExecOpts{Transport: mesh})
+	if len(as) == 1 {
+		x, rep, err := prep.MultiplyOpts(as[0], bs[0], core.ExecOpts{Transport: mesh})
+		if err != nil {
+			return nil, stats, err
+		}
+		return []*matrix.Sparse{x}, rep.Stats, nil
+	}
+	xs, rep, err := prep.MultiplyBatch(as, bs, core.ExecOpts{Transport: mesh})
 	if err != nil {
 		return nil, stats, err
 	}
-	return x, rep.Stats, nil
+	return xs, rep.Stats, nil
 }
 
 // meshConns forms this rank's side of the mesh: dial every lower rank (with

@@ -478,6 +478,17 @@ func (cj *CompiledJob) MemoryBytes() int64 {
 	return n + int64(len(cj.cleanup))*8
 }
 
+// AddNodeLoads accumulates the job's per-node real-message loads over every
+// compiled routing plan (local triangle products move no messages).
+func (cj *CompiledJob) AddNodeLoads(send, recv []int64) {
+	if cj == nil {
+		return
+	}
+	for _, cp := range cj.plans {
+		cp.AddNodeLoads(send, recv)
+	}
+}
+
 // RunCompiled executes a compiled job, mirroring Run phase for phase.
 func RunCompiled(x *lbm.Exec, cj *CompiledJob) error {
 	if len(cj.plans) == 0 {

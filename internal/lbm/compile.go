@@ -140,6 +140,20 @@ func (cp *CompiledPlan) NumRounds() int { return len(cp.RoundOff) - 1 }
 // NumInstr returns the total number of instructions.
 func (cp *CompiledPlan) NumInstr() int { return len(cp.From) }
 
+// AddNodeLoads accumulates the plan's per-node real-message loads into
+// send and recv (indexed by NodeID, length ≥ N). Loads are a compile-time
+// property of the structure: the same counts an execution would charge to
+// Stats.SendLoad/RecvLoad, available without running the plan. Partition
+// balancers (internal/dist) consume them.
+func (cp *CompiledPlan) AddNodeLoads(send, recv []int64) {
+	for i, from := range cp.From {
+		if to := cp.To[i]; from != to {
+			send[from]++
+			recv[to]++
+		}
+	}
+}
+
 // MemoryBytes estimates the resident size of the compiled form: the
 // instruction arrays plus the round index. Serving caches use it as the
 // LRU cost of a cached plan.

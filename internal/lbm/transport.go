@@ -1,6 +1,7 @@
 package lbm
 
 import (
+	"errors"
 	"fmt"
 
 	"lbmm/internal/ring"
@@ -26,6 +27,15 @@ import (
 // message through the full seam while owning every node, which the
 // differential tests hold to byte-identical results, Stats and fault
 // provenance against the nil-transport engines.
+
+// ErrDuplicateDelivery is the typed violation of the one-receive-per-round
+// contract: two payloads addressed to one destination node inside a single
+// network round. Transports reject the second send (or receipt) with an
+// error wrapping this sentinel instead of silently clobbering the first
+// payload — the engines never produce such a round (compile-time and
+// checkRound validation), so a duplicate means a corrupted peer or a broken
+// transport, and the execution must fail loudly.
+var ErrDuplicateDelivery = errors.New("lbm: duplicate payload for one destination in one round")
 
 // valueWireBytes is the model-level size of one ring value on the wire
 // (ring.Value is a float64). Stats.RoundBytes counts payload values at this
@@ -66,10 +76,15 @@ type Loopback struct {
 // Owns reports true: a loopback participant hosts every node.
 func (lb *Loopback) Owns(NodeID) bool { return true }
 
-// Send stashes the payload under its destination.
+// Send stashes the payload under its destination. A second payload for the
+// same destination within one round is a contract violation and returns an
+// error wrapping ErrDuplicateDelivery.
 func (lb *Loopback) Send(round int, dst NodeID, payload []ring.Value) error {
 	if lb.inbox == nil {
 		lb.inbox = make(map[NodeID][]ring.Value)
+	}
+	if _, dup := lb.inbox[dst]; dup {
+		return fmt.Errorf("lbm: loopback round %d, node %d: %w", round, dst, ErrDuplicateDelivery)
 	}
 	lb.inbox[dst] = payload
 	return nil

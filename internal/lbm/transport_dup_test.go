@@ -1,0 +1,36 @@
+package lbm
+
+import (
+	"errors"
+	"testing"
+
+	"lbmm/internal/ring"
+)
+
+// TestLoopbackDuplicateDelivery pins the one-receive-per-round contract at
+// the loopback seam: a second payload for an already-stashed destination
+// within one round is a typed error, not a silent clobber (the regression
+// was Send overwriting the first payload, so a buggy plan's second message
+// silently won).
+func TestLoopbackDuplicateDelivery(t *testing.T) {
+	lb := &Loopback{}
+	if err := lb.Send(0, 3, []ring.Value{1}); err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	err := lb.Send(0, 3, []ring.Value{2})
+	if !errors.Is(err, ErrDuplicateDelivery) {
+		t.Fatalf("second send to the same destination = %v, want ErrDuplicateDelivery", err)
+	}
+	// The first payload must survive the rejected duplicate.
+	in, derr := lb.Deliver(0)
+	if derr != nil {
+		t.Fatalf("deliver: %v", derr)
+	}
+	if len(in) != 1 || len(in[3]) != 1 || in[3][0] != 1 {
+		t.Fatalf("round inbox = %v, want node 3 holding the first payload", in)
+	}
+	// A new round may address the same destination again.
+	if err := lb.Send(1, 3, []ring.Value{9}); err != nil {
+		t.Fatalf("send in the next round: %v", err)
+	}
+}
