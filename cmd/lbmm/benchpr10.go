@@ -1,0 +1,251 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"lbmm/internal/matrix"
+	"lbmm/internal/obsv"
+	"lbmm/internal/ring"
+	"lbmm/internal/service"
+	"lbmm/internal/stream"
+	"lbmm/internal/workload"
+)
+
+// runBenchPR10 measures the streaming win: the same k repeated products of
+// one hot plan served three ways — sequential scalar POST /v1/multiply (one
+// connection round trip per lane, no coalescing), concurrent scalar posts
+// against a static batch window, and one lbmm.stream.v1 session against the
+// adaptive controller. The JSON artifact is committed as BENCH_PR10.json.
+
+type benchPR10Mode struct {
+	Name        string  `json:"name"`
+	Lanes       int     `json:"lanes"`
+	WallNS      int64   `json:"wall_ns"`
+	LanesPerSec float64 `json:"lanes_per_sec"`
+	// Batches is how many engine walks served the lanes; MeanBatch the
+	// lanes amortized per walk (1.0 = no coalescing happened).
+	Batches   int64   `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+	// Speedup is this mode's throughput over the sequential scalar baseline.
+	Speedup float64 `json:"speedup_vs_scalar"`
+}
+
+type benchPR10Report struct {
+	Schema    string          `json:"schema"`
+	GoVersion string          `json:"go_version"`
+	N         int             `json:"n"`
+	D         int             `json:"d"`
+	Ring      string          `json:"ring"`
+	Modes     []benchPR10Mode `json:"modes"`
+}
+
+func runBenchPR10(args []string) error {
+	fs := flag.NewFlagSet("benchpr10", flag.ExitOnError)
+	lanes := fs.Int("lanes", 256, "multiplies per mode")
+	n := fs.Int("n", 48, "matrix dimension / computer count")
+	d := fs.Int("d", 4, "sparsity parameter")
+	reps := fs.Int("reps", 5, "timed repetitions per mode (the fastest is reported)")
+	outPath := fs.String("o", "", "report path (default BENCH_PR10.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := ring.Counting{}
+	inst := workload.Blocks(*n, *d)
+	xhat := inst.Xhat.Entries()
+	wms := make([]*service.WireMultiply, *lanes)
+	for l := 0; l < *lanes; l++ {
+		a := matrix.Random(inst.Ahat, r, int64(2*l+1))
+		b := matrix.Random(inst.Bhat, r, int64(2*l+2))
+		wms[l] = &service.WireMultiply{
+			N: inst.Ahat.N, Ring: "counting",
+			A: service.WireEntries(a), B: service.WireEntries(b), Xhat: xhat,
+		}
+	}
+
+	report := benchPR10Report{
+		Schema: "lbmm.bench_pr10.v1", GoVersion: runtime.Version(),
+		N: *n, D: *d, Ring: "counting",
+	}
+
+	// Each mode gets a fresh server (its own plan cache and counters); one
+	// untimed request warms the compiled plan so every mode measures serving,
+	// not compilation.
+	run := func(name string, cfg service.Config, drive func(base string, ms *obsv.CounterSet) error) error {
+		ms := obsv.NewCounterSet()
+		cfg.Metrics = ms
+		srv := service.NewServer(cfg)
+		defer srv.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/stream/", stream.NewHandler(srv, stream.Config{Metrics: ms}))
+		mux.Handle("/", service.NewHandler(srv))
+		ts := httptest.NewServer(mux)
+		defer ts.Close()
+		if err := postScalar(ts.URL, wms[0]); err != nil {
+			return fmt.Errorf("%s: warmup: %w", name, err)
+		}
+		// Best-of-reps: a run of 256 round trips is short enough that one GC
+		// or scheduler hiccup swings it, so the minimum is the honest signal.
+		var wall time.Duration
+		var batches int64
+		var mean float64
+		for rep := 0; rep < *reps; rep++ {
+			runtime.GC() // start each rep from a clean heap, not mid-cycle
+			before := ms.Snapshot()
+			start := time.Now()
+			if err := drive(ts.URL, ms); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			w := time.Since(start)
+			after := ms.Snapshot()
+			if rep == 0 || w < wall {
+				wall = w
+				batches = after["batch/size/count"] - before["batch/size/count"]
+				served := after["batch/size/sum"] - before["batch/size/sum"]
+				mean = 1.0 // scalar path: one walk per lane by construction
+				if batches > 0 {
+					mean = float64(served) / float64(batches)
+				} else {
+					batches = int64(*lanes)
+				}
+			}
+		}
+		report.Modes = append(report.Modes, benchPR10Mode{
+			Name: name, Lanes: *lanes,
+			WallNS:      wall.Nanoseconds(),
+			LanesPerSec: float64(*lanes) / wall.Seconds(),
+			Batches:     batches, MeanBatch: mean,
+		})
+		return nil
+	}
+
+	if err := run("scalar-sequential", service.Config{}, func(base string, _ *obsv.CounterSet) error {
+		for l := 0; l < *lanes; l++ {
+			if err := postScalar(base, wms[l]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Both batched modes get a window comfortably above the client's
+	// inter-submit gap; otherwise every lane looks cold and launches alone,
+	// and the walk-amortization being measured never happens.
+	const window = 25 * time.Millisecond
+
+	if err := run("static-batch-http", service.Config{BatchSize: 16, BatchDelay: window},
+		func(base string, _ *obsv.CounterSet) error {
+			var wg sync.WaitGroup
+			errs := make(chan error, *lanes)
+			slots := make(chan struct{}, 64)
+			for l := 0; l < *lanes; l++ {
+				wg.Add(1)
+				slots <- struct{}{}
+				go func(l int) {
+					defer wg.Done()
+					defer func() { <-slots }()
+					if err := postScalar(base, wms[l]); err != nil {
+						errs <- err
+					}
+				}(l)
+			}
+			wg.Wait()
+			close(errs)
+			return <-errs
+		}); err != nil {
+		return err
+	}
+
+	if err := run("streaming-adaptive", service.Config{BatchAdaptive: true, BatchSize: 16, BatchDelay: window},
+		func(base string, _ *obsv.CounterSet) error {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			c, err := stream.Dial(ctx, base, nil)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			calls := make([]*stream.Call, *lanes)
+			for l := 0; l < *lanes; l++ {
+				if calls[l], err = c.Submit(fmt.Sprintf("lane-%d", l), wms[l]); err != nil {
+					return err
+				}
+			}
+			for l, call := range calls {
+				f, err := call.Wait(ctx)
+				if err != nil {
+					return err
+				}
+				if f.Type != stream.TypeResult {
+					return fmt.Errorf("lane %d: code %d: %s", l, f.Code, f.Error)
+				}
+			}
+			return nil
+		}); err != nil {
+		return err
+	}
+
+	base := report.Modes[0].LanesPerSec
+	for i := range report.Modes {
+		report.Modes[i].Speedup = report.Modes[i].LanesPerSec / base
+		m := report.Modes[i]
+		fmt.Printf("%-20s %4d lanes  %10.0f lanes/s  mean batch %5.2f  speedup %.2fx\n",
+			m.Name, m.Lanes, m.LanesPerSec, m.MeanBatch, m.Speedup)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		*outPath = "BENCH_PR10.json"
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *outPath)
+	return nil
+}
+
+// postScalar issues one POST /v1/multiply exactly like a real client:
+// marshal the request, decode the result entries. The streaming client pays
+// both costs per lane, so the baseline must too.
+func postScalar(base string, wm *service.WireMultiply) error {
+	body, err := json.Marshal(wm)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/multiply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST /v1/multiply: %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	var out struct {
+		X []service.WireEntry `json:"x"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	if len(out.X) == 0 {
+		return fmt.Errorf("POST /v1/multiply: empty product")
+	}
+	return nil
+}

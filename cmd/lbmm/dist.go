@@ -24,6 +24,7 @@ func runWorker(args []string) error {
 	readTO := fs.Duration("read-timeout", 60*time.Second, "per-round barrier deadline")
 	parkTTL := fs.Duration("park-ttl", 0, "reap unclaimed parked peer connections after this long (0 = 2x peer-timeout)")
 	planCache := fs.Int("plan-cache", 0, "decoded plans kept in the fingerprint-keyed LRU (0 = 16, negative disables)")
+	authToken := fs.String("auth-token", "", "shared secret; hellos without it are refused (empty = open)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -32,6 +33,7 @@ func runWorker(args []string) error {
 		ReadTimeout: *readTO,
 		ParkTTL:     *parkTTL,
 		PlanCache:   *planCache,
+		AuthToken:   *authToken,
 	}
 	if !*quiet {
 		logger := log.New(os.Stderr, "lbmm worker: ", log.LstdFlags)
@@ -82,6 +84,7 @@ func runDistRun(args []string) error {
 	lanes := fs.Int("k", 1, "value-set lanes to batch through one shared mesh walk")
 	outPath := fs.String("o", "", "also write the JSON report to this file")
 	noVerify := fs.Bool("no-verify", false, "skip the in-process cross-check")
+	authToken := fs.String("auth-token", "", "shared secret presented to token-guarded workers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,6 +126,7 @@ func runDistRun(args []string) error {
 		N:         inst.Ahat.N,
 		Ring:      *ringName,
 		Partition: *partition,
+		AuthToken: *authToken,
 	})
 	if err != nil {
 		return err

@@ -18,14 +18,24 @@
 //	                        one multiplication with a full report + timeline
 //	lbmm gen  [-n N] [-d D] -o PREFIX   write a generated instance to files
 //	lbmm solve -a A.mtx -b B.mtx -x XHAT.mtx [-o OUT.mtx]   solve from files
-//	lbmm serve [-addr :8080] [-cache N] [-cache-mb MB] [-workers N] [-queue N] [-deadline D] [-batch K] [-batch-delay D] [-store-dir DIR] [-store-mb MB]
-//	           [-ring [-join HOST:PORT] [-node-id ID] [-advertise HOST:PORT] [-vnodes V]]
+//	lbmm serve [-addr :8080] [-cache N] [-cache-mb MB] [-workers N] [-queue N] [-deadline D] [-batch K] [-batch-delay D]
+//	           [-batch-adaptive] [-stream [-stream-inflight N]] [-store-dir DIR] [-store-mb MB]
+//	           [-ring [-join HOST:PORT] [-node-id ID] [-advertise HOST:PORT] [-vnodes V] [-auth-token T]]
 //	                        HTTP/JSON multiply server with a prepared-plan
 //	                        cache, admission control and dynamic batching
-//	                        (docs/SERVICE.md); -store-dir adds a persistent
+//	                        (docs/SERVICE.md); -batch-adaptive sizes the batch
+//	                        window per plan fingerprint by arrival rate and
+//	                        -stream mounts the lbmm.stream.v1 session endpoint
+//	                        at POST /stream/v1; -store-dir adds a persistent
 //	                        plan-store tier for warm restarts (docs/PLANSTORE.md);
 //	                        -ring makes the process one shard of a multi-node
-//	                        tier routed by plan fingerprint (docs/SHARDING.md)
+//	                        tier routed by plan fingerprint (docs/SHARDING.md),
+//	                        -auth-token guards its membership endpoints
+//	lbmm stream [-addr URL] [-lanes K] [-workload W] [-n N] [-d D] [-ring R] [-seed S] [-o FILE]
+//	                        streaming load client: pipeline K multiplies over
+//	                        one lbmm.stream.v1 session, verify every result
+//	                        against the local sequential reference, and emit
+//	                        a JSON report (schema lbmm.stream_report.v1)
 //	lbmm fingerprint [-workload W -n N -d D | -ahat F -bhat F -xhat F] [-ring R] [-alg A]
 //	                 [-shards id1,id2,…] [-via HOST:PORT]
 //	                        print a structure's plan fingerprint (and owning
@@ -46,10 +56,14 @@
 //	                        partition benchmark: modulo vs load-aware balanced
 //	                        node ownership on a skewed (power-law) workload —
 //	                        max-per-rank wire bytes under each map
-//	lbmm worker [-addr :7070] [-q] [-peer-timeout D] [-read-timeout D] [-park-ttl D] [-plan-cache N]
+//	lbmm benchpr10 [-lanes K] [-n N] [-d D] [-o BENCH_PR10.json]
+//	                        serving-mode benchmark: sequential scalar HTTP vs
+//	                        static-batch HTTP vs one adaptive streaming
+//	                        session for the same K repeated products
+//	lbmm worker [-addr :7070] [-q] [-peer-timeout D] [-read-timeout D] [-park-ttl D] [-plan-cache N] [-auth-token T]
 //	                        distributed-multiply worker process: serves jobs
 //	                        and forms per-job TCP meshes (docs/DIST.md)
-//	lbmm run -workers A1,A2,… [-workload W] [-n N] [-d D] [-alg A] [-ring R] [-seed S] [-partition modulo|balanced] [-k K] [-o FILE] [-no-verify]
+//	lbmm run -workers A1,A2,… [-workload W] [-n N] [-d D] [-alg A] [-ring R] [-seed S] [-partition modulo|balanced] [-k K] [-o FILE] [-no-verify] [-auth-token T]
 //	                        coordinate one multiplication across worker
 //	                        processes and verify the merged product against
 //	                        the in-process engine (docs/DIST.md); -k batches
@@ -119,6 +133,21 @@ func main() {
 			err = runWorker(os.Args[2:])
 		} else {
 			err = runDistRun(os.Args[2:])
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbmm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "stream" || cmd == "benchpr10" {
+		// The streaming client and its benchmark own their flags (-lanes,
+		// and stream's -ring is a semiring name).
+		var err error
+		if cmd == "stream" {
+			err = runStreamClient(os.Args[2:])
+		} else {
+			err = runBenchPR10(os.Args[2:])
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lbmm:", err)
@@ -221,7 +250,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|worker|run|fingerprint|plans|benchpr3|benchpr5|benchpr8|benchpr9|chaos|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: lbmm <table1|table2|table3|table4|figure1|lower|ablation|support|json|trace|demo|gen|solve|serve|stream|worker|run|fingerprint|plans|benchpr3|benchpr5|benchpr8|benchpr9|benchpr10|chaos|all> [flags]`)
 }
 
 func runTable1(scale exper.Scale, profile bool) error {

@@ -15,6 +15,7 @@ import (
 	"lbmm/internal/planstore"
 	"lbmm/internal/service"
 	"lbmm/internal/shard"
+	"lbmm/internal/stream"
 )
 
 // serveCommand parses `lbmm serve` flags. serve owns its flag set (like
@@ -31,6 +32,9 @@ func serveCommand(args []string) error {
 	fs.DurationVar(&o.deadline, "deadline", 0, "default per-request deadline (0 = 30s)")
 	fs.IntVar(&o.batchSize, "batch", 0, "max lanes coalesced per batch (0 or 1 = batching off)")
 	fs.DurationVar(&o.batchDelay, "batch-delay", 0, "max time a request waits for lane-mates (0 = 2ms when batching)")
+	fs.BoolVar(&o.batchAdaptive, "batch-adaptive", false, "adapt the batch window per plan fingerprint by arrival rate (docs/SERVICE.md; implies -batch 16 when unset)")
+	fs.BoolVar(&o.stream, "stream", false, "mount the lbmm.stream.v1 session endpoint at POST /stream/v1 (docs/SERVICE.md)")
+	fs.IntVar(&o.streamInflight, "stream-inflight", 0, "per-session lane cap for streaming sessions (0 = default 512)")
 	fs.StringVar(&o.storeDir, "store-dir", "", "persistent plan store directory (empty = no disk tier)")
 	fs.IntVar(&o.storeMB, "store-mb", 0, "plan store size budget in MiB (0 = unbounded)")
 	fs.BoolVar(&o.ring, "ring", false, "run as one shard of a multi-node ring (docs/SHARDING.md)")
@@ -38,6 +42,7 @@ func serveCommand(args []string) error {
 	fs.StringVar(&o.advertise, "advertise", "", "host:port peers dial (default: -addr, localhost when unqualified)")
 	fs.StringVar(&o.join, "join", "", "host:port of any existing ring member to join")
 	fs.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per shard on the ownership ring (0 = default 64)")
+	fs.StringVar(&o.authToken, "auth-token", "", "shared secret guarding /shard/v1/ membership changes (empty = open)")
 	_ = fs.Parse(args)
 	if fs.NArg() > 0 {
 		return fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
@@ -55,8 +60,14 @@ type serveOpts struct {
 	deadline   time.Duration
 	batchSize  int
 	batchDelay time.Duration
-	storeDir   string
-	storeMB    int
+
+	// Streaming + adaptive-batching flags (docs/SERVICE.md).
+	batchAdaptive  bool
+	stream         bool
+	streamInflight int
+
+	storeDir string
+	storeMB  int
 
 	// Shard-tier flags (docs/SHARDING.md).
 	ring      bool
@@ -64,6 +75,7 @@ type serveOpts struct {
 	advertise string
 	join      string
 	vnodes    int
+	authToken string
 }
 
 // runServe starts the HTTP serving layer: a prepared-plan cache with
@@ -79,14 +91,15 @@ func runServe(o serveOpts) error {
 	// shard/* counters beside the serve/* ones.
 	ms := obsv.NewCounterSet()
 	cfg := service.Config{
-		CacheSize:  o.cacheSize,
-		CacheBytes: int64(o.cacheMB) << 20,
-		Workers:    o.workers,
-		QueueDepth: o.queueDepth,
-		Deadline:   o.deadline,
-		BatchSize:  o.batchSize,
-		BatchDelay: o.batchDelay,
-		Metrics:    ms,
+		CacheSize:     o.cacheSize,
+		CacheBytes:    int64(o.cacheMB) << 20,
+		Workers:       o.workers,
+		QueueDepth:    o.queueDepth,
+		Deadline:      o.deadline,
+		BatchSize:     o.batchSize,
+		BatchDelay:    o.batchDelay,
+		BatchAdaptive: o.batchAdaptive,
+		Metrics:       ms,
 	}
 	if o.storeDir != "" {
 		st, err := planstore.Open(o.storeDir, int64(o.storeMB)<<20, ms)
@@ -105,7 +118,11 @@ func runServe(o serveOpts) error {
 	fmt.Printf("lbmm serve: listening on %s (cache %d plans / %d MiB, %d workers, queue %d, deadline %s)\n",
 		o.addr, eff.CacheSize, eff.CacheBytes>>20, eff.Workers, eff.QueueDepth, eff.Deadline)
 	if eff.BatchSize > 1 {
-		fmt.Printf("  batching: up to %d lanes per plan, max delay %s\n", eff.BatchSize, eff.BatchDelay)
+		mode := "static window"
+		if eff.BatchAdaptive {
+			mode = "adaptive per-fingerprint window"
+		}
+		fmt.Printf("  batching: up to %d lanes per plan, max delay %s (%s)\n", eff.BatchSize, eff.BatchDelay, mode)
 	}
 	if eff.Store != nil {
 		budget := "unbounded"
@@ -125,11 +142,12 @@ func runServe(o serveOpts) error {
 			}
 		}
 		node := shard.NewNode(shard.Config{
-			ID:      o.nodeID,
-			Addr:    advertise,
-			VNodes:  o.vnodes,
-			Metrics: ms,
-			Logf:    log.Printf,
+			ID:        o.nodeID,
+			Addr:      advertise,
+			VNodes:    o.vnodes,
+			Metrics:   ms,
+			Logf:      log.Printf,
+			AuthToken: o.authToken,
 		})
 		router := shard.NewRouter(node, handler, nil, ms)
 		handler = router.Handler()
@@ -157,6 +175,26 @@ func runServe(o serveOpts) error {
 		}()
 	}
 
+	if o.stream {
+		// The session endpoint bypasses the shard router on purpose: a stream
+		// session is a point-to-point pipeline against this node's coalescer.
+		sh := stream.NewHandler(srv, stream.Config{MaxInflight: o.streamInflight, Metrics: ms})
+		outer := http.NewServeMux()
+		outer.Handle("/stream/", sh)
+		outer.Handle("/", handler)
+		handler = outer
+		fmt.Printf("  streaming: POST /stream/v1 (%s, per-session inflight cap %d)\n",
+			stream.Proto, streamInflightOrDefault(o.streamInflight))
+	}
+
 	fmt.Printf("  POST /v1/multiply  POST /v1/multiply/batch  POST /v1/prepare  POST /v1/classify  GET /healthz  GET /metrics\n")
 	return http.ListenAndServe(o.addr, handler)
+}
+
+// streamInflightOrDefault mirrors stream.Config's default for the banner.
+func streamInflightOrDefault(v int) int {
+	if v <= 0 {
+		return 512
+	}
+	return v
 }

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"lbmm/internal/matrix"
+	"lbmm/internal/service"
+	"lbmm/internal/stream"
+)
+
+// streamReport is the JSON summary of one `lbmm stream` load run (schema
+// lbmm.stream_report.v1). CI asserts on .correct, .lanes and the embedded
+// server metrics (batch/size histogram, stream/goroutines_hwm).
+type streamReport struct {
+	Schema   string `json:"schema"`
+	Addr     string `json:"addr"`
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	D        int    `json:"d"`
+	Ring     string `json:"ring"`
+	Lanes    int    `json:"lanes"`
+	// Correct counts lanes whose streamed product matched the local
+	// sequential reference; Errored counts error frames (any code).
+	Correct       int     `json:"correct"`
+	Errored       int     `json:"errored"`
+	TicketsUnique bool    `json:"tickets_unique"`
+	WallNS        int64   `json:"wall_ns"`
+	LanesPerSec   float64 `json:"lanes_per_sec"`
+	// Server is the target's GET /metrics snapshot taken after the drain —
+	// the batch/control/stream counters the soak drill asserts on.
+	Server map[string]int64 `json:"server"`
+}
+
+// runStreamClient drives one lbmm.stream.v1 session as a load generator: it
+// pipelines -lanes multiplies over a single connection, verifies every
+// result against the local sequential reference, and emits a JSON report.
+// Owns its flags (-ring is a semiring name here, as in run/trace).
+func runStreamClient(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "serving base URL (host:port accepted)")
+	lanes := fs.Int("lanes", 256, "multiplies to pipeline over the one session")
+	wlName := fs.String("workload", "blocks", "workload (blocks|mixed|us|hotpair|powerlaw)")
+	n := fs.Int("n", 48, "matrix dimension / computer count")
+	d := fs.Int("d", 4, "sparsity parameter")
+	ringName := fs.String("ring", "counting", "semiring (boolean|counting|minplus|maxplus|gfp|real)")
+	seed := fs.Int64("seed", 1, "value seed (lane l uses seed+2l, seed+2l+1)")
+	outPath := fs.String("o", "", "also write the JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *lanes < 1 {
+		return fmt.Errorf("stream needs -lanes of at least 1, got %d", *lanes)
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	inst, err := workloadInstance(*wlName, *n, *d)
+	if err != nil {
+		return err
+	}
+	r, err := matrix.RingByName(*ringName)
+	if err != nil {
+		return err
+	}
+	xhat := inst.Xhat.Entries()
+	as := make([]*matrix.Sparse, *lanes)
+	bs := make([]*matrix.Sparse, *lanes)
+	for l := range as {
+		as[l] = matrix.Random(inst.Ahat, r, *seed+2*int64(l))
+		bs[l] = matrix.Random(inst.Bhat, r, *seed+2*int64(l)+1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	client, err := stream.Dial(ctx, base, nil)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// Pipeline every lane, pacing only against the server's advertised
+	// inflight cap so a big -lanes never trips session backpressure.
+	window := client.MaxInflight()
+	if window < 1 || window > *lanes {
+		window = *lanes
+	}
+	slots := make(chan struct{}, window)
+	outcomes := make([]stream.Frame, *lanes)
+	tickets := make([]uint64, *lanes)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for l := 0; l < *lanes; l++ {
+		slots <- struct{}{}
+		call, err := client.Submit(fmt.Sprintf("lane-%d", l), &service.WireMultiply{
+			N:    inst.Ahat.N,
+			Ring: *ringName,
+			A:    service.WireEntries(as[l]),
+			B:    service.WireEntries(bs[l]),
+			Xhat: xhat,
+		})
+		if err != nil {
+			return fmt.Errorf("lane %d: %w", l, err)
+		}
+		wg.Add(1)
+		go func(l int, call *stream.Call) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			f, err := call.Wait(ctx)
+			if err != nil {
+				f = stream.Frame{Type: stream.TypeError, Code: 499, Error: err.Error()}
+			}
+			outcomes[l] = f
+			tickets[l] = call.Ticket()
+		}(l, call)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	report := streamReport{
+		Schema:        "lbmm.stream_report.v1",
+		Addr:          base,
+		Workload:      *wlName,
+		N:             *n,
+		D:             *d,
+		Ring:          *ringName,
+		Lanes:         *lanes,
+		TicketsUnique: true,
+		WallNS:        wall.Nanoseconds(),
+		LanesPerSec:   float64(*lanes) / wall.Seconds(),
+	}
+	seen := map[uint64]bool{}
+	for l, f := range outcomes {
+		if f.Type != stream.TypeResult {
+			report.Errored++
+			fmt.Fprintf(os.Stderr, "lane %d: code %d: %s\n", l, f.Code, f.Error)
+			continue
+		}
+		got := matrix.NewSparse(inst.Ahat.N, r)
+		for _, e := range f.X {
+			got.Set(int(e[0]), int(e[1]), e[2])
+		}
+		if matrix.Equal(got, matrix.MulReference(as[l], bs[l], inst.Xhat)) {
+			report.Correct++
+		} else {
+			fmt.Fprintf(os.Stderr, "lane %d: streamed product does not match the local reference\n", l)
+		}
+		if seen[tickets[l]] || tickets[l] == 0 {
+			report.TicketsUnique = false
+		}
+		seen[tickets[l]] = true
+	}
+	report.Server = scrapeMetrics(base)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	os.Stdout.Write(data)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if report.Correct != *lanes {
+		return fmt.Errorf("stream: %d/%d lanes correct", report.Correct, *lanes)
+	}
+	return nil
+}
+
+// scrapeMetrics snapshots the target's GET /metrics; best-effort (nil on
+// any failure — the report is still useful without the server-side view).
+func scrapeMetrics(base string) map[string]int64 {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var m map[string]int64
+	if json.NewDecoder(resp.Body).Decode(&m) != nil {
+		return nil
+	}
+	return m
+}

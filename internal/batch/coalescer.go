@@ -37,6 +37,13 @@ const (
 	ReasonFlush Reason = "flush"
 )
 
+// Policy is one launch decision: the lane cap and delay window governing a
+// key right now. MaxBatch <= 1 or MaxDelay <= 0 means launch immediately.
+type Policy struct {
+	MaxBatch int
+	MaxDelay time.Duration
+}
+
 // Config tunes a Coalescer.
 type Config struct {
 	// MaxBatch is the lane cap per group; a group launches the moment it
@@ -47,6 +54,13 @@ type Config struct {
 	// lane-mates before the group launches anyway. Values <= 0 disable
 	// coalescing.
 	MaxDelay time.Duration
+	// Decide, when non-nil, is consulted on every Submit and overrides the
+	// static MaxBatch/MaxDelay pair for that key — the hook an adaptive
+	// controller (internal/control) closes its loop through. The delay
+	// window of a pending group was armed by the decision that opened it;
+	// the lane cap always tracks the latest decision, so a policy that
+	// shrinks mid-group launches the group at the next arrival.
+	Decide func(key string) Policy
 }
 
 // Coalescer groups submitted items by key and hands each group to the run
@@ -63,6 +77,7 @@ type Coalescer[T any] struct {
 
 type group[T any] struct {
 	items []T
+	max   int // lane cap from the latest decision governing this group
 	timer *time.Timer
 }
 
@@ -82,18 +97,22 @@ func (c *Coalescer[T]) Submit(key string, item T) error {
 	if c.closed {
 		return ErrClosed
 	}
-	if c.cfg.MaxBatch <= 1 || c.cfg.MaxDelay <= 0 {
-		c.launchLocked(key, &group[T]{items: []T{item}}, ReasonImmediate)
-		return nil
+	pol := Policy{MaxBatch: c.cfg.MaxBatch, MaxDelay: c.cfg.MaxDelay}
+	if c.cfg.Decide != nil {
+		pol = c.cfg.Decide(key)
 	}
 	g := c.groups[key]
 	if g == nil {
+		if pol.MaxBatch <= 1 || pol.MaxDelay <= 0 {
+			c.launchLocked(key, &group[T]{items: []T{item}}, ReasonImmediate)
+			return nil
+		}
 		g = &group[T]{}
 		c.groups[key] = g
 		// The timer closure re-checks identity under the lock: if the group
 		// already launched full (or was flushed), the map no longer points at
 		// g and the firing is a no-op.
-		g.timer = time.AfterFunc(c.cfg.MaxDelay, func() {
+		g.timer = time.AfterFunc(pol.MaxDelay, func() {
 			c.mu.Lock()
 			if c.groups[key] == g {
 				c.launchLocked(key, g, ReasonTimeout)
@@ -101,8 +120,12 @@ func (c *Coalescer[T]) Submit(key string, item T) error {
 			c.mu.Unlock()
 		})
 	}
+	// A pending group accepts the item even when the latest decision says
+	// "immediate" — lane-mates are free throughput — but the cap tracks the
+	// decision, so a shrunk policy launches the group right here.
 	g.items = append(g.items, item)
-	if len(g.items) >= c.cfg.MaxBatch {
+	g.max = pol.MaxBatch
+	if len(g.items) >= g.max {
 		c.launchLocked(key, g, ReasonFull)
 	}
 	return nil

@@ -1,0 +1,181 @@
+package batch
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPolicyHookPerKey pins the Decide hook: each key gets the policy the
+// hook returns — an immediate key launches singletons while a batched key
+// coalesces, under one coalescer.
+func TestPolicyHookPerKey(t *testing.T) {
+	s := &sink{}
+	c := New[int](Config{
+		Decide: func(key string) Policy {
+			if key == "cold" {
+				return Policy{MaxBatch: 1}
+			}
+			return Policy{MaxBatch: 2, MaxDelay: time.Hour}
+		},
+	}, s.run)
+	c.Submit("cold", 1)
+	c.Submit("hot", 2)
+	c.Submit("cold", 3)
+	c.Submit("hot", 4)
+	c.Close()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byKey := map[string][]int{}
+	for i, g := range s.groups {
+		byKey[s.keys[i]] = append(byKey[s.keys[i]], len(g))
+		switch s.keys[i] {
+		case "cold":
+			if s.whys[i] != ReasonImmediate {
+				t.Errorf("cold launch reason %s, want immediate", s.whys[i])
+			}
+		case "hot":
+			if s.whys[i] != ReasonFull {
+				t.Errorf("hot launch reason %s, want full", s.whys[i])
+			}
+		}
+	}
+	if got := byKey["cold"]; len(got) != 2 || got[0] != 1 || got[1] != 1 {
+		t.Errorf("cold launches %v, want two singletons", got)
+	}
+	if got := byKey["hot"]; len(got) != 1 || got[0] != 2 {
+		t.Errorf("hot launches %v, want one pair", got)
+	}
+}
+
+// TestPolicyHookShrinkLaunchesPending pins the mid-group shrink: a policy
+// that drops below a pending group's size launches the group at the next
+// arrival instead of stranding it behind a stale cap.
+func TestPolicyHookShrinkLaunchesPending(t *testing.T) {
+	s := &sink{}
+	cap := 8
+	var mu sync.Mutex
+	c := New[int](Config{
+		Decide: func(key string) Policy {
+			mu.Lock()
+			defer mu.Unlock()
+			return Policy{MaxBatch: cap, MaxDelay: time.Hour}
+		},
+	}, s.run)
+	c.Submit("k", 1)
+	c.Submit("k", 2)
+	mu.Lock()
+	cap = 2 // the controller cooled the key while two lanes sat parked
+	mu.Unlock()
+	c.Submit("k", 3)
+	c.Close()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.groups) != 1 || len(s.groups[0]) != 3 || s.whys[0] != ReasonFull {
+		t.Fatalf("groups %v whys %v: the shrunk cap must launch the pending group", s.groups, s.whys)
+	}
+}
+
+// TestPolicyHookJoinsPendingGroupWhenImmediate pins that an "immediate"
+// decision still joins an already-pending group rather than jumping the
+// queue: lane-mates are free throughput, and ordering is preserved.
+func TestPolicyHookJoinsPendingGroupWhenImmediate(t *testing.T) {
+	s := &sink{}
+	hot := true
+	var mu sync.Mutex
+	c := New[int](Config{
+		Decide: func(key string) Policy {
+			mu.Lock()
+			defer mu.Unlock()
+			if hot {
+				return Policy{MaxBatch: 3, MaxDelay: time.Hour}
+			}
+			return Policy{MaxBatch: 1}
+		},
+	}, s.run)
+	c.Submit("k", 1)
+	mu.Lock()
+	hot = false
+	mu.Unlock()
+	// The cooled policy (MaxBatch 1) joins the parked lane and, at cap,
+	// launches both together.
+	c.Submit("k", 2)
+	c.Close()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.groups) != 1 || len(s.groups[0]) != 2 {
+		t.Fatalf("groups %v: cooled arrival must join and launch the pending group", s.groups)
+	}
+	if s.groups[0][0] != 1 || s.groups[0][1] != 2 {
+		t.Fatalf("submission order lost: %v", s.groups[0])
+	}
+}
+
+// TestPolicyHookConcurrentAccounting is the launch-reason ledger under a
+// concurrent hammer with a dynamic policy attached: every launch carries
+// exactly one reason, so the per-reason counts must sum to the number of
+// launches, and every accepted item is delivered exactly once — including
+// the lanes Close drains.
+func TestPolicyHookConcurrentAccounting(t *testing.T) {
+	var mu sync.Mutex
+	launches := 0
+	byReason := map[Reason]int{}
+	delivered := map[int]int{}
+	c := New[int](Config{
+		Decide: func(key string) Policy {
+			// Key-dependent: one immediate key, one batching key — both
+			// hammered at once.
+			if key == "cold" {
+				return Policy{MaxBatch: 1}
+			}
+			return Policy{MaxBatch: 4, MaxDelay: time.Millisecond}
+		},
+	}, func(key string, items []int, why Reason) {
+		mu.Lock()
+		launches++
+		byReason[why]++
+		for _, v := range items {
+			delivered[v]++
+		}
+		mu.Unlock()
+	})
+
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := "hot"
+			if i%5 == 0 {
+				key = "cold"
+			}
+			if err := c.Submit(key, i); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, v := range byReason {
+		total += v
+	}
+	if total != launches {
+		t.Fatalf("launch reasons sum to %d, launches = %d (%v)", total, launches, byReason)
+	}
+	for i := 0; i < n; i++ {
+		if delivered[i] != 1 {
+			t.Fatalf("item %d delivered %d times", i, delivered[i])
+		}
+	}
+	if byReason[ReasonImmediate] < n/5 {
+		t.Fatalf("immediate launches %d, want at least the %d cold submissions", byReason[ReasonImmediate], n/5)
+	}
+}

@@ -43,6 +43,9 @@ type RunConfig struct {
 	Table     []uint16
 	// Job names the run on the wire; "" draws a random ID.
 	Job string
+	// AuthToken is the fleet's shared secret, sent in every hello frame.
+	// Workers started with -auth-token reject hellos that do not carry it.
+	AuthToken string
 	// DialTimeout bounds the per-worker dial retry window (0 means 15s);
 	// ResultTimeout the wait for each worker's result frame (0 means 120s).
 	DialTimeout   time.Duration
@@ -145,6 +148,12 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	for l := range as {
 		aVals[l], bVals[l] = entriesOf(as[l]), entriesOf(bs[l])
 	}
+	// Serialize the lane values exactly once: every rank's job frame carries
+	// the same payload, and only Rank differs between frames.
+	lanes, err := encodeLanes(aVals, bVals)
+	if err != nil {
+		return nil, err
+	}
 
 	workers := len(cfg.Workers)
 	results := make([]*resultFrame, workers)
@@ -154,7 +163,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		wg.Add(1)
 		go func(rk int, addr string) {
 			defer wg.Done()
-			results[rk], errs[rk] = runRank(cfg, job, rk, addr, table, fp, plan.Bytes(), aVals, bVals, dialTO, resultTO)
+			results[rk], errs[rk] = runRank(cfg, job, rk, addr, table, fp, plan.Bytes(), lanes, dialTO, resultTO)
 		}(rk, addr)
 	}
 	wg.Wait()
@@ -221,13 +230,13 @@ func Run(cfg RunConfig) (*RunResult, error) {
 }
 
 // runRank ships the job to one worker and reads back its partial result.
-func runRank(cfg RunConfig, job string, rk int, addr string, table []uint16, fp string, plan []byte, aVals, bVals [][]wireVal, dialTO, resultTO time.Duration) (*resultFrame, error) {
+func runRank(cfg RunConfig, job string, rk int, addr string, table []uint16, fp string, plan, lanes []byte, dialTO, resultTO time.Duration) (*resultFrame, error) {
 	conn, err := dialRetry(addr, dialTO)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	if err := writeFrame(conn, &helloFrame{Kind: "job", Job: job}); err != nil {
+	if err := writeFrame(conn, &helloFrame{Kind: "job", Job: job, Token: cfg.AuthToken}); err != nil {
 		return nil, err
 	}
 	jf := jobFrame{
@@ -240,8 +249,7 @@ func runRank(cfg RunConfig, job string, rk int, addr string, table []uint16, fp 
 		N:           cfg.N,
 		Fingerprint: fp,
 		Prepared:    plan,
-		A:           aVals,
-		B:           bVals,
+		Lanes:       lanes,
 	}
 	if err := writeFrame(conn, &jf); err != nil {
 		return nil, err
@@ -251,8 +259,14 @@ func runRank(cfg RunConfig, job string, rk int, addr string, table []uint16, fp 
 	if err := readFrame(conn, &rf); err != nil {
 		return nil, fmt.Errorf("waiting for result: %w", err)
 	}
-	if rf.Job != job || rf.Rank != rk {
-		return nil, fmt.Errorf("mismatched result frame: job %s rank %d", rf.Job, rf.Rank)
+	if rf.Job != job {
+		return nil, fmt.Errorf("mismatched result frame: job %s", rf.Job)
+	}
+	// An error reply may predate rank assignment (an unauthorized hello is
+	// refused before the job frame ships); only successful results must
+	// echo the rank they computed.
+	if rf.Err == "" && rf.Rank != rk {
+		return nil, fmt.Errorf("mismatched result frame: rank %d, want %d", rf.Rank, rk)
 	}
 	return &rf, nil
 }

@@ -69,11 +69,15 @@ func readFrame(r io.Reader, v any) error {
 
 // helloFrame is the first frame on every inbound worker connection; Kind
 // routes the connection to the job handler ("job", from a coordinator) or
-// parks it for a running job's mesh ("peer", from a fellow worker).
+// parks it for a running job's mesh ("peer", from a fellow worker). Token
+// is the fleet's shared secret when the worker demands one
+// (WorkerOptions.AuthToken): a mismatch rejects the connection before any
+// job or peer state is touched.
 type helloFrame struct {
-	Kind string
-	Job  string
-	Rank int
+	Kind  string
+	Job   string
+	Rank  int
+	Token string
 }
 
 // wireVal is one sparse-matrix entry on the wire (values are ring.Value =
@@ -103,11 +107,13 @@ type roundFrame struct {
 // plan ships as a core.Prepared envelope addressed by its content
 // fingerprint — a worker holding Fingerprint in its plan cache skips the
 // envelope decode (and a coordinator that knows its workers are warm may
-// omit the envelope entirely). Values ship as per-lane entry lists: A[l]
-// and B[l] are lane l of a batched multiplication (one lane is the scalar
-// run). Peers holds every worker's dialable address, indexed by rank;
-// Table, when non-empty, is the explicit node→rank partition every
-// participant must share (empty = the modulo map).
+// omit the envelope entirely). Values ship as Lanes, a lanePayload encoded
+// once by the coordinator: rank frames differ only in Rank, so the lane
+// values — by far the largest part of the frame — are serialized a single
+// time and the same byte slice is copied into every rank's frame instead of
+// being gob-walked per rank. Peers holds every worker's dialable address,
+// indexed by rank; Table, when non-empty, is the explicit node→rank
+// partition every participant must share (empty = the modulo map).
 type jobFrame struct {
 	Job         string
 	Rank        int
@@ -118,7 +124,33 @@ type jobFrame struct {
 	N           int
 	Fingerprint string
 	Prepared    []byte
-	A, B        [][]wireVal
+	Lanes       []byte
+}
+
+// lanePayload is the per-lane value sets of a job: A[l] and B[l] are lane l
+// of a batched multiplication (one lane is the scalar run). It travels
+// inside jobFrame.Lanes as its own gob payload so the coordinator encodes
+// it exactly once per run, not once per rank.
+type lanePayload struct {
+	A, B [][]wireVal
+}
+
+// encodeLanes serializes the lane values once for all ranks.
+func encodeLanes(a, b [][]wireVal) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&lanePayload{A: a, B: b}); err != nil {
+		return nil, fmt.Errorf("dist: encode lanes: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeLanes unpacks a jobFrame's lane payload.
+func decodeLanes(p []byte) (a, b [][]wireVal, err error) {
+	var lp lanePayload
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&lp); err != nil {
+		return nil, nil, fmt.Errorf("dist: decode lanes: %w", err)
+	}
+	return lp.A, lp.B, nil
 }
 
 // resultFrame is a worker's reply to its jobFrame: the output entries its

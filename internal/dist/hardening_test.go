@@ -103,7 +103,7 @@ func TestParkReleasedOnFailedJob(t *testing.T) {
 	go func() { done <- w.runJob(cc) }()
 	// Rank out of range: the job fails validation before any mesh forms.
 	jf := jobFrame{Job: "j1", Rank: 9, Workers: 2, Peers: []string{"a", "b"}, Ring: "real",
-		A: [][]wireVal{nil}, B: [][]wireVal{nil}}
+		Lanes: mustLanes(t, [][]wireVal{nil}, [][]wireVal{nil})}
 	if err := writeFrame(cw, &jf); err != nil {
 		t.Fatal(err)
 	}
@@ -200,22 +200,40 @@ func TestDialRetryDeadline(t *testing.T) {
 // peer-count mismatches, lane mismatches and bad partition tables must all
 // fail before any mesh forms.
 func TestExecuteRejectsMalformedJobs(t *testing.T) {
-	lane := [][]wireVal{nil}
+	lane := func(t *testing.T) []byte { return mustLanes(t, [][]wireVal{nil}, [][]wireVal{nil}) }
 	for _, tc := range []struct {
 		name string
-		jf   jobFrame
+		jf   func(t *testing.T) jobFrame
 	}{
-		{"rank out of range", jobFrame{Rank: 2, Workers: 2, Peers: []string{"a", "b"}, A: lane, B: lane}},
-		{"negative rank", jobFrame{Rank: -1, Workers: 2, Peers: []string{"a", "b"}, A: lane, B: lane}},
-		{"peer count mismatch", jobFrame{Rank: 0, Workers: 3, Peers: []string{"a", "b"}, A: lane, B: lane}},
-		{"no lanes", jobFrame{Rank: 0, Workers: 2, Peers: []string{"a", "b"}}},
-		{"lane mismatch", jobFrame{Rank: 0, Workers: 2, Peers: []string{"a", "b"}, A: [][]wireVal{nil, nil}, B: lane}},
-		{"short table", jobFrame{Rank: 0, Workers: 2, Peers: []string{"a", "b"}, N: 8, Table: []uint16{0, 1}, A: lane, B: lane}},
-		{"table names a ghost rank", jobFrame{Rank: 0, Workers: 2, Peers: []string{"a", "b"}, N: 2, Table: []uint16{0, 7}, A: lane, B: lane}},
+		{"rank out of range", func(t *testing.T) jobFrame {
+			return jobFrame{Rank: 2, Workers: 2, Peers: []string{"a", "b"}, Lanes: lane(t)}
+		}},
+		{"negative rank", func(t *testing.T) jobFrame {
+			return jobFrame{Rank: -1, Workers: 2, Peers: []string{"a", "b"}, Lanes: lane(t)}
+		}},
+		{"peer count mismatch", func(t *testing.T) jobFrame {
+			return jobFrame{Rank: 0, Workers: 3, Peers: []string{"a", "b"}, Lanes: lane(t)}
+		}},
+		{"no lanes", func(t *testing.T) jobFrame {
+			return jobFrame{Rank: 0, Workers: 2, Peers: []string{"a", "b"}}
+		}},
+		{"empty lane payload", func(t *testing.T) jobFrame {
+			return jobFrame{Rank: 0, Workers: 2, Peers: []string{"a", "b"}, Lanes: mustLanes(t, nil, nil)}
+		}},
+		{"lane mismatch", func(t *testing.T) jobFrame {
+			return jobFrame{Rank: 0, Workers: 2, Peers: []string{"a", "b"}, Lanes: mustLanes(t, [][]wireVal{nil, nil}, [][]wireVal{nil})}
+		}},
+		{"short table", func(t *testing.T) jobFrame {
+			return jobFrame{Rank: 0, Workers: 2, Peers: []string{"a", "b"}, N: 8, Table: []uint16{0, 1}, Lanes: lane(t)}
+		}},
+		{"table names a ghost rank", func(t *testing.T) jobFrame {
+			return jobFrame{Rank: 0, Workers: 2, Peers: []string{"a", "b"}, N: 2, Table: []uint16{0, 7}, Lanes: lane(t)}
+		}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			w := newWorker(WorkerOptions{})
-			if _, _, err := w.execute(&tc.jf, obsv.NewCounterSet()); err == nil {
+			jf := tc.jf(t)
+			if _, _, err := w.execute(&jf, obsv.NewCounterSet()); err == nil {
 				t.Fatal("malformed job frame was accepted")
 			}
 		})

@@ -33,6 +33,12 @@ type WorkerOptions struct {
 	// worker's fingerprint-keyed LRU; repeat jobs on a warm worker skip the
 	// envelope decode (dist/plan_hits). 0 means 16; negative disables.
 	PlanCache int
+	// AuthToken, when non-empty, is the shared secret every inbound hello
+	// must carry: a coordinator or peer whose token mismatches is rejected
+	// (a job hello gets an unauthorized result frame; a peer hello is
+	// closed). The same token is presented on this worker's outgoing peer
+	// dials, so one fleet-wide secret covers the whole mesh.
+	AuthToken string
 }
 
 func (o WorkerOptions) logf(format string, args ...any) {
@@ -127,6 +133,16 @@ func (w *worker) handle(conn net.Conn) {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
+	if w.opts.AuthToken != "" && h.Token != w.opts.AuthToken {
+		w.opts.logf("rejecting %s connection from %s: auth token mismatch", h.Kind, conn.RemoteAddr())
+		if h.Kind == "job" {
+			// Answer the coordinator instead of letting it wait out its
+			// result timeout: the run fails fast with the real reason.
+			_ = writeFrame(conn, &resultFrame{Job: h.Job, Err: "dist: unauthorized: worker requires a matching auth token"})
+		}
+		conn.Close()
+		return
+	}
 	switch h.Kind {
 	case "peer":
 		w.park(h.Job, h.Rank, conn)
@@ -239,7 +255,7 @@ func (w *worker) runJob(conn net.Conn) error {
 	}
 	conn.SetReadDeadline(time.Time{})
 	defer w.releaseJob(jf.Job)
-	w.opts.logf("job %s: rank %d of %d, n=%d, ring %s, k=%d", jf.Job, jf.Rank, jf.Workers, jf.N, jf.Ring, len(jf.A))
+	w.opts.logf("job %s: rank %d of %d, n=%d, ring %s, lane payload %dB", jf.Job, jf.Rank, jf.Workers, jf.N, jf.Ring, len(jf.Lanes))
 
 	rf := resultFrame{Job: jf.Job, Rank: jf.Rank}
 	counters := obsv.NewCounterSet()
@@ -303,8 +319,12 @@ func (w *worker) execute(jf *jobFrame, counters *obsv.CounterSet) ([]*matrix.Spa
 	if jf.Workers < 1 || jf.Rank < 0 || jf.Rank >= jf.Workers || len(jf.Peers) != jf.Workers {
 		return nil, stats, fmt.Errorf("dist: malformed job: rank %d of %d with %d peers", jf.Rank, jf.Workers, len(jf.Peers))
 	}
-	if len(jf.A) == 0 || len(jf.A) != len(jf.B) {
-		return nil, stats, fmt.Errorf("dist: malformed job: %d A lanes, %d B lanes", len(jf.A), len(jf.B))
+	laneA, laneB, err := decodeLanes(jf.Lanes)
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(laneA) == 0 || len(laneA) != len(laneB) {
+		return nil, stats, fmt.Errorf("dist: malformed job: %d A lanes, %d B lanes", len(laneA), len(laneB))
 	}
 	if len(jf.Table) > 0 && len(jf.Table) != jf.N {
 		return nil, stats, fmt.Errorf("dist: malformed job: partition table covers %d of %d nodes", len(jf.Table), jf.N)
@@ -320,11 +340,11 @@ func (w *worker) execute(jf *jobFrame, counters *obsv.CounterSet) ([]*matrix.Spa
 	if err != nil {
 		return nil, stats, err
 	}
-	as := make([]*matrix.Sparse, len(jf.A))
-	bs := make([]*matrix.Sparse, len(jf.B))
-	for l := range jf.A {
-		as[l] = sparseFrom(jf.N, r, jf.A[l])
-		bs[l] = sparseFrom(jf.N, r, jf.B[l])
+	as := make([]*matrix.Sparse, len(laneA))
+	bs := make([]*matrix.Sparse, len(laneB))
+	for l := range laneA {
+		as[l] = sparseFrom(jf.N, r, laneA[l])
+		bs[l] = sparseFrom(jf.N, r, laneB[l])
 	}
 
 	conns, err := w.meshConns(jf)
@@ -366,7 +386,7 @@ func (w *worker) meshConns(jf *jobFrame) ([]net.Conn, error) {
 		if err != nil {
 			return conns, fmt.Errorf("dist: rank %d dialing rank %d: %w", jf.Rank, j, err)
 		}
-		if err := writeFrame(c, &helloFrame{Kind: "peer", Job: jf.Job, Rank: jf.Rank}); err != nil {
+		if err := writeFrame(c, &helloFrame{Kind: "peer", Job: jf.Job, Rank: jf.Rank, Token: w.opts.AuthToken}); err != nil {
 			c.Close()
 			return conns, fmt.Errorf("dist: rank %d greeting rank %d: %w", jf.Rank, j, err)
 		}

@@ -13,14 +13,20 @@ import (
 )
 
 // batchLane is one request parked in the coalescer: its values, what it
-// asked for, and the channel its outcome comes back on (buffered so the
-// batch runner never blocks on a caller that already gave up).
+// asked for, and how its outcome goes back. A synchronous caller
+// (multiplyCoalesced) waits on done (buffered so the batch runner never
+// blocks on a caller that already gave up); a streamed lane carries a
+// deliver callback instead — no goroutine parks for it, the batch runner
+// invokes deliver with the finished response.
 type batchLane struct {
 	prep     *core.Prepared
 	a, b     *matrix.Sparse
 	trace    bool
 	enqueued time.Time
 	done     chan laneOut
+	fp       string
+	hit      bool
+	deliver  func(*MultiplyResponse, error)
 }
 
 // laneOut is one lane's share of a batch outcome. rep and profile are
@@ -94,6 +100,9 @@ func (s *Server) runBatch(fp string, lanes []*batchLane, why batch.Reason) {
 		s.metrics.Add(MetricBatchWaitNs, now.Sub(ln.enqueued).Nanoseconds())
 	}
 	s.metrics.Add(MetricBatchLaunch+string(why), 1)
+	if s.ctrl != nil {
+		s.ctrl.Observe(fp, len(lanes), why)
+	}
 	s.workers <- struct{}{}
 	s.metrics.Set(MetricActiveWorkers, s.active.Add(1))
 	defer s.release()
@@ -115,6 +124,11 @@ func (s *Server) runBatch(fp string, lanes []*batchLane, why batch.Reason) {
 	outs, rep, err := s.executeBatch(lanes[0].prep, as, bs, trace)
 	if err != nil {
 		for _, ln := range lanes {
+			if ln.deliver != nil {
+				s.metrics.Add(MetricErrors, 1)
+				ln.deliver(nil, err)
+				continue
+			}
 			ln.done <- laneOut{err: err}
 		}
 		return
@@ -127,6 +141,15 @@ func (s *Server) runBatch(fp string, lanes []*batchLane, why batch.Reason) {
 		out := laneOut{x: outs[i], rep: rep}
 		if ln.trace {
 			out.profile = exp
+		}
+		if ln.deliver != nil {
+			resp := &MultiplyResponse{X: out.x, Report: out.rep, Fingerprint: ln.fp, CacheHit: ln.hit}
+			if ln.trace {
+				resp.Profile = out.profile
+			}
+			s.metrics.Add(MetricServed, 1)
+			ln.deliver(resp, nil)
+			continue
 		}
 		ln.done <- out
 	}

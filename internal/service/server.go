@@ -11,6 +11,7 @@ import (
 
 	"lbmm/internal/algo"
 	"lbmm/internal/batch"
+	"lbmm/internal/control"
 	"lbmm/internal/core"
 	"lbmm/internal/lbm"
 	"lbmm/internal/matrix"
@@ -65,6 +66,13 @@ type Config struct {
 	// values are rejected by Validate — silently clamping would turn an
 	// operator typo into batching being quietly disabled.
 	BatchDelay time.Duration
+	// BatchAdaptive replaces the static BatchSize/BatchDelay launch policy
+	// with the per-fingerprint controller (internal/control): BatchSize
+	// becomes the lane cap a hot fingerprint grows toward and BatchDelay the
+	// window ceiling, while cold fingerprints launch immediately and delay
+	// is shed under light load. Implies batching: a zero BatchSize defaults
+	// to 16 lanes. Decisions are exported as control/* counters on Metrics.
+	BatchAdaptive bool
 	// Metrics receives the service counters; a fresh set when nil.
 	Metrics *obsv.CounterSet
 	// Store, when non-nil, adds a persistent second cache tier behind the
@@ -111,6 +119,9 @@ func (c Config) withDefaults() Config {
 	} else if c.FaultBudget < 0 {
 		c.FaultBudget = 0
 	}
+	if c.BatchAdaptive && c.BatchSize <= 1 {
+		c.BatchSize = 16
+	}
 	if c.BatchSize > 1 && c.BatchDelay == 0 {
 		c.BatchDelay = 2 * time.Millisecond
 	}
@@ -145,6 +156,11 @@ const (
 	MetricBatchLanes  = "batch/lanes"   // gauge: lanes executing right now
 	MetricBatchWaitNs = "batch/wait_ns" // total ns lanes spent waiting to launch
 	MetricBatchLaunch = "batch/launch_" // + reason: full|timeout|immediate|flush
+
+	// MetricGoroutines is a scrape-time gauge of the process goroutine
+	// count — the streaming soak drill asserts it stays bounded while
+	// hundreds of lanes are in flight (no per-request parking).
+	MetricGoroutines = "go/goroutines"
 )
 
 // Server serves multiplications from a prepared-plan cache behind a bounded
@@ -160,7 +176,10 @@ type Server struct {
 	// Dynamic batching (nil coalescer when BatchSize <= 1): requests park
 	// in the coalescer keyed by plan fingerprint; runBatch executes each
 	// launched group on one worker slot and fans results back per lane.
+	// ctrl is non-nil only under BatchAdaptive: it decides each key's
+	// launch policy and is fed every launch outcome.
 	coal      *batch.Coalescer[*batchLane]
+	ctrl      *control.Controller
 	batchHist *obsv.Histogram
 	laneCount atomic.Int64
 
@@ -185,10 +204,19 @@ func NewServer(cfg Config) *Server {
 	}
 	s.batchHist = obsv.NewHistogram(cfg.Metrics, MetricBatchSize, []int64{1, 2, 4, 8, 16, 32, 64})
 	if cfg.BatchSize > 1 {
-		s.coal = batch.New[*batchLane](batch.Config{
+		bcfg := batch.Config{
 			MaxBatch: cfg.BatchSize,
 			MaxDelay: cfg.BatchDelay,
-		}, s.runBatch)
+		}
+		if cfg.BatchAdaptive {
+			s.ctrl = control.New(control.Config{
+				MaxBatch: cfg.BatchSize,
+				MaxDelay: cfg.BatchDelay,
+				Metrics:  cfg.Metrics,
+			})
+			bcfg.Decide = s.ctrl.Decide
+		}
+		s.coal = batch.New[*batchLane](bcfg, s.runBatch)
 	}
 	return s
 }
@@ -215,6 +243,7 @@ func (s *Server) Metrics() map[string]int64 {
 	m := s.metrics.Snapshot()
 	m[MetricQueueDepth] = s.queued.Load()
 	m[MetricActiveWorkers] = s.active.Load()
+	m[MetricGoroutines] = int64(runtime.NumGoroutine())
 	return m
 }
 

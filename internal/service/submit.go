@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// MultiplySubmit is the streaming entry point: it validates, admits and
+// plan-resolves the request like Multiply, but instead of parking the
+// calling goroutine until the result is ready it registers deliver to be
+// invoked exactly once with the outcome and returns. A non-nil return error
+// means the request was rejected synchronously (validation, admission or
+// plan failure) and deliver will never be called.
+//
+// deliver runs on the batch runner's goroutine (or, without a coalescer, on
+// the execution goroutine): it must not block for long — the streaming
+// session hands it a bounded outbox sized so that enqueueing a result can
+// never stall a worker.
+//
+// Backpressure: Submit blocks in admission control exactly like Multiply —
+// the caller's read loop stalls when every worker slot is busy and the
+// queue is full of waiters, which is the natural pipelining limit. The slot
+// is released as soon as the lane is parked (batched mode) or execution
+// ends (scalar mode); k coalesced lanes still cost one worker.
+func (s *Server) MultiplySubmit(ctx context.Context, req *MultiplyRequest, deliver func(*MultiplyResponse, error)) error {
+	if deliver == nil {
+		return fmt.Errorf("%w: submit needs a deliver callback", ErrInvalid)
+	}
+	if req.A == nil || req.B == nil || req.Xhat == nil {
+		return fmt.Errorf("%w: multiply needs A, B and Xhat", ErrInvalid)
+	}
+	if n := req.A.Support().N; n != req.B.Support().N || n != req.Xhat.N {
+		return fmt.Errorf("%w: dimension mismatch %d/%d/%d",
+			ErrInvalid, n, req.B.Support().N, req.Xhat.N)
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		return err
+	}
+	prep, fp, hit, err := s.prepared(req.A.Support(), req.B.Support(), req.Xhat, req.Options)
+	if err != nil {
+		release()
+		s.metrics.Add(MetricErrors, 1)
+		return err
+	}
+	if s.coal != nil {
+		lane := &batchLane{
+			prep:     prep,
+			a:        req.A,
+			b:        req.B,
+			trace:    req.Trace,
+			enqueued: time.Now(),
+			fp:       fp,
+			hit:      hit,
+			deliver:  deliver,
+		}
+		err := s.coal.Submit(fp, lane)
+		release()
+		if err != nil {
+			s.metrics.Add(MetricShed, 1)
+			return ErrOverloaded
+		}
+		return nil
+	}
+	// No coalescer: execute on a fresh goroutine holding the admitted slot.
+	// The goroutine is doing the multiply, not parked waiting on one — the
+	// session's read loop stays free to pipeline the next submit.
+	go func() {
+		defer release()
+		x, rep, err := s.execute(prep, req.A, req.B, req.Trace)
+		if err != nil {
+			s.metrics.Add(MetricErrors, 1)
+			deliver(nil, err)
+			return
+		}
+		resp := &MultiplyResponse{X: x, Report: rep, Fingerprint: fp, CacheHit: hit}
+		if req.Trace && rep.Profile != nil {
+			resp.Profile = rep.Profile.Export()
+		}
+		s.metrics.Add(MetricServed, 1)
+		deliver(resp, nil)
+	}()
+	return nil
+}

@@ -18,19 +18,20 @@ import (
 
 // Counter names published by the shard tier (gauges noted).
 const (
-	MetricMembers     = "shard/members"           // gauge: live members in this node's view
-	MetricEpoch       = "shard/epoch"             // gauge: view epoch
-	MetricOwnPermille = "shard/own_permille"      // gauge: share of the key space owned
-	MetricIsLeader    = "shard/is_leader"         // gauge: 1 when this node leads
-	MetricRebalances  = "shard/rebalances"        // membership changes adopted (ownership remapped)
-	MetricRepairs     = "shard/repairs"           // successor deaths this node detected and repaired
-	MetricElections   = "shard/elections"         // leader claims this node made
-	MetricJoins       = "shard/joins"             // join requests handled
-	MetricPings       = "shard/pings"             // alive-checks sent
-	MetricPingFails   = "shard/ping_fails"        // alive-checks that failed
-	MetricForwards    = "shard/forwards"          // requests proxied to their owner
-	MetricForwardMiss = "shard/forward_mismatch"  // forwarded-to requests we did not own
-	MetricForwardFall = "shard/forward_fallbacks" // forwards that failed and were served locally
+	MetricMembers      = "shard/members"           // gauge: live members in this node's view
+	MetricEpoch        = "shard/epoch"             // gauge: view epoch
+	MetricOwnPermille  = "shard/own_permille"      // gauge: share of the key space owned
+	MetricIsLeader     = "shard/is_leader"         // gauge: 1 when this node leads
+	MetricRebalances   = "shard/rebalances"        // membership changes adopted (ownership remapped)
+	MetricRepairs      = "shard/repairs"           // successor deaths this node detected and repaired
+	MetricElections    = "shard/elections"         // leader claims this node made
+	MetricJoins        = "shard/joins"             // join requests handled
+	MetricPings        = "shard/pings"             // alive-checks sent
+	MetricPingFails    = "shard/ping_fails"        // alive-checks that failed
+	MetricForwards     = "shard/forwards"          // requests proxied to their owner
+	MetricForwardMiss  = "shard/forward_mismatch"  // forwarded-to requests we did not own
+	MetricForwardFall  = "shard/forward_fallbacks" // forwards that failed and were served locally
+	MetricAuthRejected = "shard/auth_rejected"     // membership changes refused for a missing/wrong token
 )
 
 // View is an epoch-stamped membership snapshot. Higher epochs win
@@ -118,6 +119,13 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Client performs peer HTTP calls (default: a client with PingTimeout).
 	Client *http.Client
+	// AuthToken, when non-empty, guards the state-mutating membership
+	// endpoints (POST /shard/v1/join|view|leave): requests must carry
+	// "Authorization: Bearer <token>" or are refused with 403. The node
+	// presents the same token on its own outgoing membership calls, so one
+	// shared secret covers the whole ring. Read-only endpoints (ping,
+	// owner, info) stay open — they leak topology, not membership control.
+	AuthToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -552,6 +560,9 @@ func (n *Node) postJSON(addr, path string, body []byte) (View, error) {
 		return View{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if n.cfg.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+n.cfg.AuthToken)
+	}
 	return n.doView(req)
 }
 
@@ -583,7 +594,7 @@ func (n *Node) doView(req *http.Request) (View, error) {
 //	GET  /shard/v1/info   membership + ownership introspection
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /shard/v1/join", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /shard/v1/join", n.authorized(func(w http.ResponseWriter, r *http.Request) {
 		var jr wireJoin
 		if err := json.NewDecoder(r.Body).Decode(&jr); err != nil || jr.Member.ID == "" || jr.Member.Addr == "" {
 			http.Error(w, "join needs {member:{id,addr}}", http.StatusBadRequest)
@@ -607,8 +618,8 @@ func (n *Node) Handler() http.Handler {
 		n.mu.Unlock()
 		go n.broadcast(joined, peers)
 		writeView(w, joined)
-	})
-	mux.HandleFunc("POST /shard/v1/view", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /shard/v1/view", n.authorized(func(w http.ResponseWriter, r *http.Request) {
 		var v View
 		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
 			http.Error(w, "bad view body", http.StatusBadRequest)
@@ -619,8 +630,8 @@ func (n *Node) Handler() http.Handler {
 		cur := n.view
 		n.mu.Unlock()
 		writeView(w, cur)
-	})
-	mux.HandleFunc("POST /shard/v1/leave", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /shard/v1/leave", n.authorized(func(w http.ResponseWriter, r *http.Request) {
 		var v View
 		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
 			http.Error(w, "bad leave body", http.StatusBadRequest)
@@ -631,7 +642,7 @@ func (n *Node) Handler() http.Handler {
 		cur := n.view
 		n.mu.Unlock()
 		writeView(w, cur)
-	})
+	}))
 	mux.HandleFunc("GET /shard/v1/ping", func(w http.ResponseWriter, r *http.Request) {
 		writeView(w, n.View())
 	})
@@ -669,6 +680,20 @@ func (n *Node) Handler() http.Handler {
 		_ = json.NewEncoder(w).Encode(info)
 	})
 	return mux
+}
+
+// authorized wraps a state-mutating handler with the shared-secret check:
+// with an AuthToken configured, the request must present it as a bearer
+// token or is refused before any membership state is read.
+func (n *Node) authorized(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if n.cfg.AuthToken != "" && r.Header.Get("Authorization") != "Bearer "+n.cfg.AuthToken {
+			n.metrics.Add(MetricAuthRejected, 1)
+			http.Error(w, "shard: membership change requires a matching auth token", http.StatusForbidden)
+			return
+		}
+		h(w, r)
+	}
 }
 
 func writeView(w http.ResponseWriter, v View) {
