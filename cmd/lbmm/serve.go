@@ -188,7 +188,17 @@ func runServe(o serveOpts) error {
 	}
 
 	fmt.Printf("  POST /v1/multiply  POST /v1/multiply/batch  POST /v1/prepare  POST /v1/classify  GET /healthz  GET /metrics\n")
-	return http.ListenAndServe(o.addr, handler)
+	// ReadHeaderTimeout reaps peers that dial and never speak, IdleTimeout
+	// bounds kept-alive connections between requests. Deliberately no global
+	// Read/WriteTimeout: a streaming session is one long-lived request, and
+	// the stream layer enforces its own hello/idle/write deadlines.
+	hs := &http.Server{
+		Addr:              o.addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.ListenAndServe()
 }
 
 // streamInflightOrDefault mirrors stream.Config's default for the banner.

@@ -35,6 +35,11 @@ const (
 	ReasonImmediate Reason = "immediate"
 	// ReasonFlush: Close drained the group.
 	ReasonFlush Reason = "flush"
+	// ReasonShrink: a policy decision dropped the group's lane cap below the
+	// lanes it already held, launching the group at that arrival. The launch
+	// is policy-driven, not demand-driven — feedback consumers must not read
+	// it as evidence the key filled a batch the way ReasonFull is.
+	ReasonShrink Reason = "shrink"
 )
 
 // Policy is one launch decision: the lane cap and delay window governing a
@@ -59,7 +64,8 @@ type Config struct {
 	// controller (internal/control) closes its loop through. The delay
 	// window of a pending group was armed by the decision that opened it;
 	// the lane cap always tracks the latest decision, so a policy that
-	// shrinks mid-group launches the group at the next arrival.
+	// shrinks mid-group launches the group at the next arrival (with
+	// ReasonShrink, so the launch is not mistaken for demand).
 	Decide func(key string) Policy
 }
 
@@ -123,10 +129,17 @@ func (c *Coalescer[T]) Submit(key string, item T) error {
 	// A pending group accepts the item even when the latest decision says
 	// "immediate" — lane-mates are free throughput — but the cap tracks the
 	// decision, so a shrunk policy launches the group right here.
+	oldMax := g.max
 	g.items = append(g.items, item)
 	g.max = pol.MaxBatch
 	if len(g.items) >= g.max {
-		c.launchLocked(key, g, ReasonFull)
+		why := ReasonFull
+		if g.max < oldMax && len(g.items) < oldMax {
+			// Under the previous cap this arrival would have kept waiting:
+			// only the shrunk policy made it a launch.
+			why = ReasonShrink
+		}
+		c.launchLocked(key, g, why)
 	}
 	return nil
 }

@@ -73,8 +73,8 @@ func TestPolicyHookShrinkLaunchesPending(t *testing.T) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.groups) != 1 || len(s.groups[0]) != 3 || s.whys[0] != ReasonFull {
-		t.Fatalf("groups %v whys %v: the shrunk cap must launch the pending group", s.groups, s.whys)
+	if len(s.groups) != 1 || len(s.groups[0]) != 3 || s.whys[0] != ReasonShrink {
+		t.Fatalf("groups %v whys %v: the shrunk cap must launch the pending group with ReasonShrink", s.groups, s.whys)
 	}
 }
 

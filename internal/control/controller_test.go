@@ -192,6 +192,39 @@ func TestObserveFeedback(t *testing.T) {
 	if got := ms2.Get(MetricGrow); got != 5 {
 		t.Fatalf("control/grow = %d, want 5", got)
 	}
+
+	// Shrink launches are policy artifacts — the coalescer launched because
+	// a decision dropped the cap, not because demand filled a batch — and
+	// must leave the estimate and the grow/shrink ledger untouched: a twin
+	// controller fed the identical schedule minus the shrink observes must
+	// land on the identical policy.
+	for i := 0; i < 5; i++ {
+		c2.Observe("k", grown.MaxBatch, batch.ReasonShrink)
+	}
+	clk2.Advance(400 * time.Microsecond)
+	afterShrink := c2.Decide("k")
+
+	clk3 := newManualClock()
+	c3 := newTestController(clk3, obsv.NewCounterSet())
+	c3.Decide("k")
+	for i := 0; i < 20; i++ {
+		clk3.Advance(400 * time.Microsecond)
+		c3.Decide("k")
+	}
+	c3.Decide("k")
+	for i := 0; i < 5; i++ {
+		c3.Observe("k", base.MaxBatch, batch.ReasonFull)
+	}
+	clk3.Advance(400 * time.Microsecond)
+	c3.Decide("k")
+	clk3.Advance(400 * time.Microsecond)
+	if want := c3.Decide("k"); afterShrink != want {
+		t.Fatalf("shrink launches changed the policy: %+v, want %+v", afterShrink, want)
+	}
+	if ms2.Get(MetricGrow) != 5 || ms2.Get(MetricShrink) != 0 {
+		t.Fatalf("shrink launches must not count as feedback: grow=%d shrink=%d",
+			ms2.Get(MetricGrow), ms2.Get(MetricShrink))
+	}
 }
 
 // The per-key state is bounded: the stalest fingerprint is evicted at the

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"fmt"
 	"net"
 	"sync"
@@ -133,7 +134,9 @@ func (w *worker) handle(conn net.Conn) {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
-	if w.opts.AuthToken != "" && h.Token != w.opts.AuthToken {
+	// Constant-time compare: the check guards an open port, so equality must
+	// not leak how much of a guessed token matched.
+	if w.opts.AuthToken != "" && subtle.ConstantTimeCompare([]byte(h.Token), []byte(w.opts.AuthToken)) != 1 {
 		w.opts.logf("rejecting %s connection from %s: auth token mismatch", h.Kind, conn.RemoteAddr())
 		if h.Kind == "job" {
 			// Answer the coordinator instead of letting it wait out its

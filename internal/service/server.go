@@ -155,7 +155,7 @@ const (
 	MetricBatchSize   = "batch/size"
 	MetricBatchLanes  = "batch/lanes"   // gauge: lanes executing right now
 	MetricBatchWaitNs = "batch/wait_ns" // total ns lanes spent waiting to launch
-	MetricBatchLaunch = "batch/launch_" // + reason: full|timeout|immediate|flush
+	MetricBatchLaunch = "batch/launch_" // + reason: full|timeout|immediate|flush|shrink
 
 	// MetricGoroutines is a scrape-time gauge of the process goroutine
 	// count — the streaming soak drill asserts it stays bounded while

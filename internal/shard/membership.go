@@ -3,6 +3,7 @@ package shard
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -687,10 +689,15 @@ func (n *Node) Handler() http.Handler {
 // token or is refused before any membership state is read.
 func (n *Node) authorized(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if n.cfg.AuthToken != "" && r.Header.Get("Authorization") != "Bearer "+n.cfg.AuthToken {
-			n.metrics.Add(MetricAuthRejected, 1)
-			http.Error(w, "shard: membership change requires a matching auth token", http.StatusForbidden)
-			return
+		if n.cfg.AuthToken != "" {
+			// Constant-time compare: the check guards an open port, so
+			// equality must not leak how much of a guessed token matched.
+			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(n.cfg.AuthToken)) != 1 {
+				n.metrics.Add(MetricAuthRejected, 1)
+				http.Error(w, "shard: membership change requires a matching auth token", http.StatusForbidden)
+				return
+			}
 		}
 		h(w, r)
 	}

@@ -49,9 +49,11 @@ const (
 // same_xhat is the repeated-products shortcut: lanes of one session usually
 // share a single output support, so a submit may omit xhat and set
 // same_xhat to reuse the last support shipped on this session (the server
-// remembers it in submit order; a submit that does carry xhat refreshes
-// it). Setting same_xhat before any lane shipped a support is a code-400
-// error frame.
+// remembers it in submit order; a submit that does carry xhat refreshes it
+// even when that submit itself is refused — backpressure or a bad payload —
+// so the sticky state tracks frames shipped, exactly mirroring the client's
+// elision state across a 429-then-retry). Setting same_xhat before any lane
+// shipped a support is a code-400 error frame.
 type Frame struct {
 	Type        string                `json:"type"`
 	Proto       string                `json:"proto,omitempty"`

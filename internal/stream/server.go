@@ -25,6 +25,17 @@ type Config struct {
 	// session whose peer stops reading is torn down rather than left
 	// holding results — and, transitively, worker goroutines — forever.
 	WriteTimeout time.Duration
+	// HelloTimeout bounds the wait for the client's opening hello frame
+	// (default 10s): a peer that connects and never speaks — the endpoint is
+	// unauthenticated — is reaped instead of pinning the handler and writer
+	// goroutines for its connection's lifetime.
+	HelloTimeout time.Duration
+	// IdleTimeout bounds the silence between client frames after the hello
+	// (default 5m): a session whose peer went away without closing its side
+	// is reaped once its accepted lanes drain. An actively pipelining client
+	// never comes near it; a client holding a session open across longer
+	// pauses reconnects — one round, the cost the protocol already budgets.
+	IdleTimeout time.Duration
 	// Metrics receives the stream/* counters; a fresh set when nil. Pass
 	// the server's set so they land beside serve/* and batch/*.
 	Metrics *obsv.CounterSet
@@ -36,6 +47,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 30 * time.Second
+	}
+	if c.HelloTimeout <= 0 {
+		c.HelloTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
 	}
 	if c.Metrics == nil {
 		c.Metrics = obsv.NewCounterSet()
@@ -73,8 +90,9 @@ type session struct {
 	inflight atomic.Int64
 	wg       sync.WaitGroup // outstanding delivers
 	ticket   uint64         // read loop only
-	// xhat is the session's sticky output support — the last one a submit
-	// carried, reused by same_xhat lanes. Read loop only.
+	// xhat is the session's sticky output support — the last one any submit
+	// frame carried, accepted or not, reused by same_xhat lanes. Read loop
+	// only.
 	xhat []service.WirePos
 }
 
@@ -111,12 +129,16 @@ func serveSession(srv *service.Server, cfg Config, w http.ResponseWriter, r *htt
 	go s.writer(w, rc, writerDone)
 
 	dec := json.NewDecoder(r.Body)
+	// Best-effort (like the write deadlines): a ResponseWriter that supports
+	// full duplex but not read deadlines still gets a working session, it
+	// just cannot reap silent peers.
+	_ = rc.SetReadDeadline(time.Now().Add(cfg.HelloTimeout))
 	if err := readHello(dec); err != nil {
 		s.send(Frame{Type: TypeError, Code: http.StatusBadRequest, Error: err.Error()})
 		s.metrics.Add(MetricErrors, 1)
 	} else {
 		s.send(Frame{Type: TypeHello, Proto: Proto, MaxInflight: cfg.MaxInflight})
-		s.readLoop(srv, dec)
+		s.readLoop(srv, rc, dec)
 	}
 
 	// The client closed its side (or sent garbage): every accepted lane
@@ -141,12 +163,14 @@ func readHello(dec *json.Decoder) error {
 	return nil
 }
 
-// readLoop decodes frames until the client closes or sends garbage. It is
-// the only goroutine that blocks in admission control, so a saturated
-// server stalls the session's intake — backpressure by TCP — while already
-// accepted lanes keep completing.
-func (s *session) readLoop(srv *service.Server, dec *json.Decoder) {
+// readLoop decodes frames until the client closes, sends garbage, or idles
+// past IdleTimeout. It is the only goroutine that blocks in admission
+// control, so a saturated server stalls the session's intake — backpressure
+// by TCP — while already accepted lanes keep completing.
+func (s *session) readLoop(srv *service.Server, rc *http.ResponseController, dec *json.Decoder) {
 	for {
+		// Re-armed per frame: the deadline bounds silence, not session length.
+		_ = rc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		var f Frame
 		if err := dec.Decode(&f); err != nil {
 			return
@@ -165,6 +189,14 @@ func (s *session) readLoop(srv *service.Server, dec *json.Decoder) {
 func (s *session) submit(srv *service.Server, f Frame) {
 	s.metrics.Add(MetricSubmits, 1)
 	s.observeGoroutines()
+	// The sticky support advances in submit order regardless of admission:
+	// the client commits its own copy the moment it ships an explicit xhat,
+	// so a submit rejected below (backpressure, bad payload) must still
+	// refresh the server's — or a retry elided as same_xhat would silently
+	// compute against the stale previous support.
+	if f.Submit != nil && len(f.Submit.Xhat) > 0 {
+		s.xhat = f.Submit.Xhat
+	}
 	if s.inflight.Load() >= int64(s.cfg.MaxInflight) {
 		s.metrics.Add(MetricBackpressure, 1)
 		s.send(Frame{Type: TypeError, ID: f.ID, Code: http.StatusTooManyRequests,
@@ -186,8 +218,6 @@ func (s *session) submit(srv *service.Server, f Frame) {
 		}
 		s.metrics.Add(MetricXhatReuse, 1)
 		f.Submit.Xhat = s.xhat
-	} else if len(f.Submit.Xhat) > 0 {
-		s.xhat = f.Submit.Xhat
 	}
 	req, err := service.ParseWireMultiply(f.Submit)
 	if err != nil {

@@ -327,6 +327,114 @@ func TestStreamStickySupport(t *testing.T) {
 	}
 }
 
+// TestStreamStickySupportSurvivesBackpressure pins the sticky support
+// across the documented backpressure-retry path: a submit that ships a NEW
+// explicit xhat and is 429-rejected must still advance the server's sticky
+// copy — the client committed its own the moment the frame shipped — so the
+// retry, elided as same_xhat, computes against the new support rather than
+// silently reusing the stale one.
+func TestStreamStickySupportSurvivesBackpressure(t *testing.T) {
+	ms := obsv.NewCounterSet()
+	_, ts := newStreamServer(t,
+		// A long static window parks the first lane so the second submit
+		// deterministically trips the inflight cap.
+		service.Config{BatchSize: 64, BatchDelay: 500 * time.Millisecond, Metrics: ms},
+		Config{MaxInflight: 1, Metrics: ms})
+
+	r := ring.Counting{}
+	inst := workload.Blocks(8, 2)
+	full := supportPositions(inst.Xhat)
+	narrowPos := full[:len(full)/2]
+	narrow := matrix.NewSupport(inst.N, narrowPos)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	a0 := matrix.Random(inst.Ahat, r, 1)
+	b0 := matrix.Random(inst.Bhat, r, 2)
+	first, err := c.Submit("first", &service.WireMultiply{
+		N: inst.N, Ring: "counting",
+		A: service.WireEntries(a0), B: service.WireEntries(b0), Xhat: full,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := matrix.Random(inst.Ahat, r, 3)
+	b1 := matrix.Random(inst.Bhat, r, 4)
+	wm := &service.WireMultiply{
+		N: inst.N, Ring: "counting",
+		A: service.WireEntries(a1), B: service.WireEntries(b1), Xhat: narrowPos,
+	}
+	rejected, err := c.Submit("rejected", wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, err := rejected.Wait(ctx); err != nil || f.Type != TypeError || f.Code != http.StatusTooManyRequests {
+		t.Fatalf("second submit outcome %v / %+v, want a 429 error frame", err, f)
+	}
+	if f, err := first.Wait(ctx); err != nil || f.Type != TypeResult {
+		t.Fatalf("first lane: %v / %+v", err, f)
+	}
+
+	// Retry the identical request: the client elides the support as
+	// same_xhat because it committed lastXhat when the rejected frame
+	// shipped — the server's sticky copy must have advanced in lockstep.
+	retry, err := c.Submit("retry", wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := retry.Wait(ctx)
+	if err != nil || f.Type != TypeResult {
+		t.Fatalf("retried lane: %v / %+v", err, f)
+	}
+	got := matrix.NewSparse(inst.N, r)
+	for _, e := range f.X {
+		got.Set(int(e[0]), int(e[1]), e[2])
+	}
+	want := matrix.MulReference(a1, b1, narrow)
+	if stale := matrix.MulReference(a1, b1, inst.Xhat); matrix.Equal(want, stale) {
+		t.Fatal("degenerate instance: narrow and full supports give the same product")
+	}
+	if !matrix.Equal(got, want) {
+		t.Fatal("retried same_xhat lane computed against the stale support")
+	}
+	if reuse := ms.Get(MetricXhatReuse); reuse != 1 {
+		t.Errorf("stream/xhat_reuse = %d, want 1 (only the retry elides)", reuse)
+	}
+}
+
+// TestStreamHelloTimeout pins the silent-peer reap: a client that connects
+// and never sends its hello is answered and torn down by HelloTimeout
+// instead of pinning the handler and writer goroutines on an
+// unauthenticated endpoint forever.
+func TestStreamHelloTimeout(t *testing.T) {
+	_, ts := newStreamServer(t, service.Config{}, Config{HelloTimeout: 100 * time.Millisecond})
+	pr, pw := io.Pipe()
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/stream/v1", pr)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	defer pw.Close() // never writes a hello
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.ReadAll(resp.Body)
+	}()
+	select {
+	case <-done:
+		// The session ended on its own: the silent peer was reaped.
+	case <-time.After(5 * time.Second):
+		t.Fatal("session with a silent peer was not reaped by HelloTimeout")
+	}
+}
+
 // TestStreamHelloRequired pins the handshake: a wrong protocol version is
 // answered with an error frame and the session ends.
 func TestStreamHelloRequired(t *testing.T) {
